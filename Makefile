@@ -1,0 +1,38 @@
+# Taming the Killer Microsecond — reproduction workflows.
+
+GO ?= go
+
+.PHONY: all test race bench figures extensions examples cover clean
+
+all: test
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure + ablation (text) and per-figure CSVs.
+figures:
+	$(GO) run ./cmd/killerusec -all -outdir figures_csv
+
+extensions:
+	$(GO) run ./cmd/killerusec -ext
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mechanisms
+	$(GO) run ./examples/graphsearch
+	$(GO) run ./examples/kvcache
+	$(GO) run ./examples/queuesizing
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -rf figures_csv cover.out

@@ -1,0 +1,277 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (plus the
+// ablations DESIGN.md calls out). Each benchmark regenerates its figure
+// with a reduced sweep per iteration and reports the headline scalar as
+// a custom metric, so `go test -bench=.` both exercises the full
+// pipeline and prints the reproduced results.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// benchSuite is small enough to run repeatedly under the bench harness
+// while still reaching steady state.
+func benchSuite() experiments.Suite {
+	s := experiments.Quick()
+	s.Iterations = 500
+	s.AppLookups = 100
+	s.Threads = []int{1, 2, 4, 8, 10, 16}
+	return s
+}
+
+func reportPeak(b *testing.B, t *stats.Table, label, metric string) {
+	b.Helper()
+	series := t.FindSeries(label)
+	if series == nil {
+		b.Fatalf("series %q missing from %s", label, t.ID)
+	}
+	_, peak := series.Peak()
+	b.ReportMetric(peak, metric)
+}
+
+func BenchmarkFig2(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig2()
+	}
+	reportPeak(b, t, "1us", "peak-norm-IPC")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig3()
+	}
+	reportPeak(b, t, "1us", "peak-norm-IPC")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig4()
+	}
+	reportPeak(b, t, "work=1000", "peak-norm-IPC")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig5()
+	}
+	reportPeak(b, t, "4us 8c", "peak-norm-IPC")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig6()
+	}
+	reportPeak(b, t, "4-read", "peak-norm-IPC")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig7()
+	}
+	reportPeak(b, t, "swqueue 1us", "peak-norm-IPC")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig8()
+	}
+	reportPeak(b, t, "1us 8c", "peak-norm-IPC")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.Fig9()
+	}
+	reportPeak(b, t, "1c 4-read", "peak-norm-IPC")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{1, 2, 4, 8}
+	var tables []*stats.Table
+	for i := 0; i < b.N; i++ {
+		tables = s.Fig10()
+	}
+	// Headline of Fig 10d: 8-core software queues versus the 1-core
+	// DRAM baseline (paper: 1.2x-2.0x).
+	for _, t := range tables {
+		if t.ID == "fig10d" {
+			reportPeak(b, t, t.Series[2].Label, "peak-norm-perf")
+		}
+	}
+}
+
+func BenchmarkAblationLFB(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.AblationLFB()
+	}
+	reportPeak(b, t, "4us", "peak-norm-IPC")
+}
+
+func BenchmarkAblationChipQueue(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.AblationChipQueue()
+	}
+	reportPeak(b, t, "1us 8c (4x link bandwidth)", "peak-norm-IPC")
+}
+
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.AblationSwitchCost()
+	}
+	reportPeak(b, t, "1us 10t", "peak-norm-IPC")
+}
+
+func BenchmarkAblationSWQOpts(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.AblationSWQOpts()
+	}
+	reportPeak(b, t, "1us 16t", "peak-norm-IPC")
+}
+
+// Extension experiments (beyond the paper; see DESIGN.md).
+
+func BenchmarkExtKernelQueue(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{1, 8, 16}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpKernelQueue()
+	}
+	reportPeak(b, t, "kernelq", "peak-norm-IPC")
+}
+
+func BenchmarkExtSMT(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpSMT()
+	}
+	reportPeak(b, t, "1us", "peak-norm-IPC")
+}
+
+func BenchmarkExtWrites(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{1, 8, 10}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpWrites()
+	}
+	reportPeak(b, t, "prefetch +4w", "peak-norm-IPC")
+}
+
+func BenchmarkExtMemBus(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpMemBus()
+	}
+	reportPeak(b, t, "1us membus+rule", "peak-norm-IPC")
+}
+
+func BenchmarkExtTailLatency(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{4, 10, 16}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpTailLatency()
+	}
+	reportPeak(b, t, "prefetch 1%-tail", "peak-norm-IPC")
+}
+
+func BenchmarkAblationRule(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.AblationRule()
+	}
+	reportPeak(b, t, "entries per microsecond", "entries-per-us")
+}
+
+func BenchmarkExtDevices(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{1, 8}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpDevices()
+	}
+	reportPeak(b, t, "flash-25us", "peak-norm-IPC")
+}
+
+func BenchmarkExtPointerChase(b *testing.B) {
+	s := benchSuite()
+	s.Threads = []int{1, 8, 10}
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpPointerChase()
+	}
+	reportPeak(b, t, "chase prefetch", "peak-norm-IPC")
+}
+
+func BenchmarkExtLocality(b *testing.B) {
+	s := benchSuite()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = s.ExpLocality()
+	}
+	reportPeak(b, t, "prefetch", "peak-norm-perf")
+}
+
+// Mechanism micro-benchmarks: cost of one simulated run, for profiling
+// the simulator itself.
+
+func BenchmarkRunPrefetch(b *testing.B) {
+	cfg := repro.DefaultConfig()
+	w := repro.NewMicrobench(500, repro.DefaultWorkCount, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repro.RunPrefetch(cfg, w, 10, false)
+	}
+}
+
+func BenchmarkRunSWQueue(b *testing.B) {
+	cfg := repro.DefaultConfig()
+	w := repro.NewMicrobench(500, repro.DefaultWorkCount, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repro.RunSWQueue(cfg, w, 10, false)
+	}
+}
+
+func BenchmarkRunDRAMBaseline(b *testing.B) {
+	cfg := repro.DefaultConfig()
+	w := repro.NewMicrobench(2000, repro.DefaultWorkCount, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repro.RunDRAMBaseline(cfg, w)
+	}
+}

@@ -1,0 +1,186 @@
+// Command killerusec regenerates the experimental figures of "Taming
+// the Killer Microsecond" (MICRO 2018) from the simulated platform.
+//
+// Usage:
+//
+//	killerusec -fig 3            # one figure (2..9, 10, ablations)
+//	killerusec -all              # everything, in paper order
+//	killerusec -fig 7 -csv       # CSV instead of aligned text
+//	killerusec -fig 5 -iters 8000
+//	killerusec -table1           # the paper's Table I (taxonomy)
+//	killerusec -list             # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions")
+		all     = flag.Bool("all", false, "run every paper experiment (figures + ablations)")
+		ext     = flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quick   = flag.Bool("quick", false, "reduced sweep (faster, coarser)")
+		iters   = flag.Int("iters", 0, "override microbenchmark iterations per core")
+		lookups = flag.Int("lookups", 0, "override application lookups per core")
+		threads = flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8,16")
+		replay  = flag.Bool("replay", true, "use the two-run record/replay methodology for applications")
+		table1  = flag.Bool("table1", false, "print the paper's Table I and exit")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		outdir  = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("paper:      2 3 4 5 6 7 8 9 10 10a 10b 10c 10d")
+		fmt.Println("ablations:  lfb chipq rule switch swqopts")
+		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality")
+		return
+	}
+	if *table1 {
+		fmt.Print(experiments.TableI())
+		return
+	}
+
+	suite := experiments.Default()
+	if *quick {
+		suite = experiments.Quick()
+	}
+	if *iters > 0 {
+		suite.Iterations = *iters
+	}
+	if *lookups > 0 {
+		suite.AppLookups = *lookups
+	}
+	suite.UseReplay = *replay
+	if *threads != "" {
+		var sweep []int
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "killerusec: bad -threads element %q\n", part)
+				os.Exit(2)
+			}
+			sweep = append(sweep, n)
+		}
+		suite.Threads = sweep
+	}
+
+	var tables []*stats.Table
+	switch {
+	case *all && *ext:
+		tables = append(suite.All(), suite.Extensions()...)
+	case *all:
+		tables = suite.All()
+	case *ext:
+		tables = suite.Extensions()
+	case *fig != "":
+		tables = runOne(suite, strings.ToLower(*fig))
+		if tables == nil {
+			fmt.Fprintf(os.Stderr, "killerusec: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Text())
+		}
+	}
+	if *outdir != "" {
+		if err := writeCSVs(*outdir, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "killerusec:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSVs writes one CSV file per table into dir, creating it if
+// needed.
+func writeCSVs(dir string, tables []*stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		path := filepath.Join(dir, t.ID+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(s experiments.Suite, id string) []*stats.Table {
+	one := func(t *stats.Table) []*stats.Table { return []*stats.Table{t} }
+	switch id {
+	case "2", "fig2":
+		return one(s.Fig2())
+	case "3", "fig3":
+		return one(s.Fig3())
+	case "4", "fig4":
+		return one(s.Fig4())
+	case "5", "fig5":
+		return one(s.Fig5())
+	case "6", "fig6":
+		return one(s.Fig6())
+	case "7", "fig7":
+		return one(s.Fig7())
+	case "8", "fig8":
+		return one(s.Fig8())
+	case "9", "fig9":
+		return one(s.Fig9())
+	case "10", "fig10":
+		return s.Fig10()
+	case "10a", "10b", "10c", "10d", "fig10a", "fig10b", "fig10c", "fig10d":
+		for _, t := range s.Fig10() {
+			if strings.HasSuffix(t.ID, strings.TrimPrefix(id, "fig")) {
+				return []*stats.Table{t}
+			}
+		}
+		return nil
+	case "lfb", "ablation-lfb":
+		return one(s.AblationLFB())
+	case "chipq", "ablation-chipq":
+		return one(s.AblationChipQueue())
+	case "rule", "ablation-rule":
+		return one(s.AblationRule())
+	case "switch", "ablation-switch":
+		return one(s.AblationSwitchCost())
+	case "swqopts", "ablation-swqopts":
+		return one(s.AblationSWQOpts())
+	case "kernelq", "ext-kernelq":
+		return one(s.ExpKernelQueue())
+	case "smt", "ext-smt":
+		return one(s.ExpSMT())
+	case "writes", "ext-writes":
+		return one(s.ExpWrites())
+	case "membus", "ext-membus":
+		return one(s.ExpMemBus())
+	case "tail", "ext-tail":
+		return one(s.ExpTailLatency())
+	case "ptrchase", "ext-ptrchase":
+		return one(s.ExpPointerChase())
+	case "devices", "ext-devices":
+		return one(s.ExpDevices())
+	case "locality", "ext-locality":
+		return one(s.ExpLocality())
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinySuite() experiments.Suite {
+	s := experiments.Quick()
+	s.Iterations = 200
+	s.AppLookups = 40
+	s.Threads = []int{1, 4}
+	return s
+}
+
+func TestRunOneKnownIDs(t *testing.T) {
+	s := tinySuite()
+	ids := []string{"2", "3", "4", "6", "7", "lfb", "switch", "swqopts", "kernelq", "smt", "writes", "tail"}
+	for _, id := range ids {
+		tables := runOne(s, id)
+		if len(tables) == 0 {
+			t.Errorf("runOne(%q) returned nothing", id)
+			continue
+		}
+		for _, tb := range tables {
+			if len(tb.Series) == 0 {
+				t.Errorf("runOne(%q): table %s has no series", id, tb.ID)
+			}
+		}
+	}
+}
+
+func TestRunOneFig10Subfigure(t *testing.T) {
+	s := tinySuite()
+	s.UseReplay = false // keep the smoke test fast
+	tables := runOne(s, "10b")
+	if len(tables) != 1 || tables[0].ID != "fig10b" {
+		t.Fatalf("runOne(10b) = %v", tables)
+	}
+}
+
+func TestRunOneUnknownID(t *testing.T) {
+	if got := runOne(tinySuite(), "nonsense"); got != nil {
+		t.Errorf("unknown id returned %v", got)
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	s := tinySuite()
+	tables := runOne(s, "2")
+	if err := writeCSVs(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "work instructions per access,") {
+		t.Errorf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestRunOneAliases(t *testing.T) {
+	s := tinySuite()
+	if runOne(s, "fig3") == nil || runOne(s, "ablation-lfb") == nil || runOne(s, "ext-smt") == nil {
+		t.Error("aliases not accepted")
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a from-scratch reproduction of "Taming the Killer
+// Microsecond" (Cho, Suresh, Palit, Ferdman, Honarmand — MICRO 2018) as
+// a Go library.
+//
+// The paper asks why conventional hardware and software cannot hide
+// microsecond-level storage latencies, and shows — on a real Xeon with
+// an FPGA-based device emulator — that modest changes suffice: replace
+// on-demand loads with software prefetches plus ~30 ns user-level
+// context switches, and enlarge the hardware queues (per-core line-fill
+// buffers, the chip-level queue on the PCIe path) that track in-flight
+// accesses.
+//
+// Everything the paper's testbed provided in silicon is rebuilt here as
+// a deterministic, nanosecond-resolution discrete-event simulation:
+// the out-of-order core model, the PCIe Gen2 x8 link, the device
+// emulator with its replay/delay/on-demand modules, the descriptor-ring
+// software-queue interface, and the Pth-derived user-level threading
+// library. On top of that substrate run the paper's microbenchmark and
+// its three applications (Graph500 BFS, Bloom filter, Memcached
+// lookups), and an experiment harness regenerates every figure of the
+// evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-versus-measured results.
+//
+// This package is the public facade: it re-exports the platform
+// configuration, the workloads, the mechanism runners, and the
+// experiment suite.
+package repro

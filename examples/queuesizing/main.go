@@ -1,0 +1,69 @@
+// Queuesizing: validate the paper's hardware-provisioning rule (§V-B):
+//
+//	per-core queue   ~ 20 x device-latency-in-us entries
+//	chip-level queue ~ 20 x device-latency-in-us x cores entries
+//
+// The example sweeps the per-core LFB count and the chip-level shared
+// queue, showing that today's sizes (10 and 14) are the only thing
+// standing between conventional hardware and DRAM-parity access to
+// microsecond devices — and that at eight cores, the PCIe wire itself
+// becomes the next wall, motivating the paper's suggestion to attach
+// such devices to the memory interconnect.
+//
+//	go run ./examples/queuesizing
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	ubench := repro.NewMicrobench(3000, repro.DefaultWorkCount, 1)
+
+	fmt.Println("== Per-core queue (LFB) sizing, 4us device, 100 threads ==")
+	fmt.Println("   rule: 20 x 4us = 80 entries")
+	for _, lfb := range []int{10, 20, 40, 80, 120} {
+		cfg := repro.DefaultConfig().WithLatency(4 * repro.Microsecond)
+		cfg.LFBPerCore = lfb
+		cfg.ChipQueueMMIO = 4096 // isolate the per-core limit
+		base := repro.RunDRAMBaseline(cfg, ubench)
+		r := repro.RunPrefetch(cfg, ubench, 100, false)
+		marker := ""
+		if lfb == 80 {
+			marker = "  <- paper's rule"
+		}
+		fmt.Printf("  %3d LFBs: %5.3f of DRAM%s\n", lfb, r.NormalizedTo(base.Measurement), marker)
+	}
+
+	fmt.Println("\n== Chip-level queue sizing, 1us device, 8 cores x 12 threads ==")
+	fmt.Println("   rule: 20 x 1us x 8 cores = 160 entries")
+	for _, q := range []int{14, 56, 160, 224} {
+		cfg := repro.DefaultConfig().WithCores(8)
+		cfg.LFBPerCore = 20 // per-core rule for 1us
+		cfg.ChipQueueMMIO = q
+		base := repro.RunDRAMBaseline(cfg, ubench)
+		stock := repro.RunPrefetch(cfg, ubench, 12, false)
+
+		cfg.PCIeBandwidth *= 4 // memory-interconnect-class link
+		fat := repro.RunPrefetch(cfg, ubench, 12, false)
+		fmt.Printf("  %3d entries: %5.2fx (PCIe Gen2 x8)   %5.2fx (4x link)\n",
+			q, stock.NormalizedTo(base.Measurement), fat.NormalizedTo(base.Measurement))
+	}
+	fmt.Println("\nOn the stock link, queue sizing alone saturates the wire at ~45M")
+	fmt.Println("lines/s; the 4x link column shows the full 8-core scaling the")
+	fmt.Println("paper's memory-interconnect attachment would unlock.")
+
+	fmt.Println("\n== Context-switch budget (1us device, 10 threads) ==")
+	for _, ctx := range []repro.Time{20 * repro.Nanosecond, 50 * repro.Nanosecond,
+		500 * repro.Nanosecond, 2 * repro.Microsecond} {
+		cfg := repro.DefaultConfig()
+		cfg.CtxSwitch = ctx
+		base := repro.RunDRAMBaseline(cfg, ubench)
+		r := repro.RunPrefetch(cfg, ubench, 10, false)
+		fmt.Printf("  switch %7v: %5.3f of DRAM\n", ctx, r.NormalizedTo(base.Measurement))
+	}
+	fmt.Println("(the original GNU Pth switched in ~2us; the paper's optimized")
+	fmt.Println(" library reaches 20-50ns, §IV-B — the mechanism needs that)")
+}

@@ -1,0 +1,138 @@
+// Package cache models the on-chip cache as seen by device cache
+// lines. The paper's memory-mapped interface marks the device BAR
+// cacheable ("MMIO regions marked 'cacheable' can take advantage of
+// locality", §III-B), so device lines with temporal locality hit
+// on-chip and never reach the device — one of the structural advantages
+// of the memory-mapped interface over software-managed queues, whose
+// response buffers see no hardware caching or coherence (§V-C).
+//
+// The model is a set-associative, true-LRU cache over 64-byte lines.
+// It is disabled by default (platform.Config.DeviceCacheLines = 0)
+// because the paper's microbenchmark deliberately touches fresh lines;
+// the locality extension experiment enables it.
+package cache
+
+import "fmt"
+
+// LineSize is the cached granularity.
+const LineSize = 64
+
+// entry is one resident line.
+type entry struct {
+	addr uint64
+	data []byte
+}
+
+// Cache is a set-associative LRU cache for device lines.
+type Cache struct {
+	setMask uint64
+	ways    int
+	sets    [][]entry // each set ordered MRU-first
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New creates a cache holding totalLines lines with the given
+// associativity. totalLines must be a positive multiple of ways and the
+// set count must be a power of two.
+func New(totalLines, ways int) *Cache {
+	if totalLines <= 0 || ways <= 0 || totalLines%ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d lines / %d ways", totalLines, ways))
+	}
+	nsets := totalLines / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, ways)
+	}
+	return &Cache{setMask: uint64(nsets - 1), ways: ways, sets: sets}
+}
+
+// set returns the set index for an address.
+func (c *Cache) set(addr uint64) uint64 {
+	return (addr / LineSize) & c.setMask
+}
+
+// Lookup returns the line containing addr if resident, promoting it to
+// MRU.
+func (c *Cache) Lookup(addr uint64) ([]byte, bool) {
+	addr &^= LineSize - 1
+	s := c.sets[c.set(addr)]
+	for i, e := range s {
+		if e.addr == addr {
+			// Promote to MRU.
+			copy(s[1:i+1], s[:i])
+			s[0] = e
+			c.hits++
+			return e.data, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Insert fills the line containing addr, evicting the set's LRU entry
+// if the set is full. It reports the evicted address, if any.
+func (c *Cache) Insert(addr uint64, data []byte) (evicted uint64, evictedOK bool) {
+	addr &^= LineSize - 1
+	idx := c.set(addr)
+	s := c.sets[idx]
+	for i, e := range s {
+		if e.addr == addr {
+			// Refill of a resident line: update and promote.
+			copy(s[1:i+1], s[:i])
+			s[0] = entry{addr: addr, data: data}
+			return 0, false
+		}
+	}
+	if len(s) == c.ways {
+		victim := s[len(s)-1]
+		copy(s[1:], s[:len(s)-1])
+		s[0] = entry{addr: addr, data: data}
+		c.evictions++
+		return victim.addr, true
+	}
+	s = append(s, entry{})
+	copy(s[1:], s[:len(s)-1])
+	s[0] = entry{addr: addr, data: data}
+	c.sets[idx] = s
+	return 0, false
+}
+
+// Invalidate drops the line containing addr if resident — the
+// coherence action a device write triggers in every core's cache
+// (§V-C).
+func (c *Cache) Invalidate(addr uint64) bool {
+	addr &^= LineSize - 1
+	idx := c.set(addr)
+	s := c.sets[idx]
+	for i, e := range s {
+		if e.addr == addr {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns lookup hits so far.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns lookup misses so far.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns capacity evictions so far.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// HitRate returns hits over lookups (0 when idle).
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(64, 8)
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("cold lookup hit")
+	}
+	line := make([]byte, LineSize)
+	line[0] = 9
+	c.Insert(0x1000, line)
+	got, ok := c.Lookup(0x1000)
+	if !ok || got[0] != 9 {
+		t.Fatalf("hit = %v data = %v", ok, got)
+	}
+	// Unaligned addresses map to the containing line.
+	if _, ok := c.Lookup(0x1004); !ok {
+		t.Error("unaligned lookup missed resident line")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if r := c.HitRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("hit rate %.3f", r)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set: the third distinct line evicts the LRU.
+	c := New(2, 2)
+	c.Insert(0*LineSize, nil)
+	c.Insert(1*LineSize*2, nil) // same set (1 set total)
+	c.Lookup(0)                 // promote line 0 to MRU
+	evicted, ok := c.Insert(4*LineSize, nil)
+	if !ok || evicted != 1*LineSize*2 {
+		t.Errorf("evicted %#x (%v), want the LRU line", evicted, ok)
+	}
+	if _, ok := c.Lookup(0); !ok {
+		t.Error("MRU line evicted instead")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	// 2 sets x 1 way: lines in different sets do not evict each other.
+	c := New(2, 1)
+	c.Insert(0, nil)        // set 0
+	c.Insert(LineSize, nil) // set 1
+	if _, ok := c.Lookup(0); !ok {
+		t.Error("set-0 line evicted by set-1 insert")
+	}
+	if _, ok := c.Lookup(LineSize); !ok {
+		t.Error("set-1 line missing")
+	}
+}
+
+func TestReinsertUpdatesData(t *testing.T) {
+	c := New(4, 4)
+	a := make([]byte, LineSize)
+	a[0] = 1
+	b := make([]byte, LineSize)
+	b[0] = 2
+	c.Insert(0x40, a)
+	if ev, ok := c.Insert(0x40, b); ok {
+		t.Errorf("refill evicted %#x", ev)
+	}
+	got, _ := c.Lookup(0x40)
+	if got[0] != 2 {
+		t.Errorf("refill did not update data: %d", got[0])
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(8, 8)
+	c.Insert(0x80, nil)
+	if !c.Invalidate(0x84) { // unaligned: same line
+		t.Fatal("invalidate missed resident line")
+	}
+	if c.Invalidate(0x80) {
+		t.Error("double invalidate succeeded")
+	}
+	if _, ok := c.Lookup(0x80); ok {
+		t.Error("line still resident after invalidate")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, geom := range [][2]int{{0, 1}, {8, 3}, {24, 2} /* 12 sets: not pow2 */} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", geom)
+				}
+			}()
+			New(geom[0], geom[1])
+		}()
+	}
+}
+
+// Property: the cache never holds more than totalLines lines, and a
+// just-inserted line always hits immediately.
+func TestCapacityProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(32, 4)
+		for _, a := range addrs {
+			addr := uint64(a) * LineSize
+			c.Insert(addr, nil)
+			if _, ok := c.Lookup(addr); !ok {
+				return false
+			}
+		}
+		resident := 0
+		for _, s := range c.sets {
+			resident += len(s)
+			if len(s) > 4 {
+				return false
+			}
+		}
+		return resident <= 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a working set no larger than one set's ways, every
+// re-access hits (true LRU has no thrashing within capacity).
+func TestNoThrashWithinWaysProperty(t *testing.T) {
+	f := func(rounds uint8) bool {
+		c := New(16, 4) // 4 sets x 4 ways
+		// 4 lines in the same set (stride = 4 sets * 64).
+		for i := 0; i < 4; i++ {
+			c.Insert(uint64(i)*4*LineSize, nil)
+		}
+		for r := 0; r < int(rounds%16)+1; r++ {
+			for i := 0; i < 4; i++ {
+				if _, ok := c.Lookup(uint64(i) * 4 * LineSize); !ok {
+					return false
+				}
+			}
+		}
+		return c.Evictions() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/sim"
+)
+
+// env is one assembled simulation platform: engine, DRAM, PCIe link,
+// chip-level MMIO queue, per-core LFB pools, and the device emulator.
+type env struct {
+	eng      *sim.Engine
+	cfg      platform.Config
+	link     *pcie.Link
+	chip     *sim.TokenPool
+	dram     *mem.DRAM
+	dev      *device.Device
+	lfb      []*sim.TokenPool
+	storeBuf []*sim.TokenPool
+	caches   []*cache.Cache // per-core device-line caches; nil entries when disabled
+}
+
+func newEnv(cfg platform.Config, backing replay.Backing) *env {
+	eng := sim.NewEngine()
+	link := pcie.NewLink(eng, cfg)
+	dram := mem.New(eng, cfg.DRAMLatency, cfg.DRAMMaxOutstanding)
+	e := &env{
+		eng:  eng,
+		cfg:  cfg,
+		link: link,
+		chip: pcie.NewChipQueue(eng, cfg),
+		dram: dram,
+		dev:  device.New(eng, cfg, link, dram, backing),
+		lfb:  make([]*sim.TokenPool, cfg.Cores),
+	}
+	e.storeBuf = make([]*sim.TokenPool, cfg.Cores)
+	e.caches = make([]*cache.Cache, cfg.Cores)
+	for i := range e.lfb {
+		e.lfb[i] = eng.NewTokenPool("lfb", cfg.LFBPerCore)
+		e.storeBuf[i] = eng.NewTokenPool("storebuf", cfg.StoreBufferEntries)
+		if cfg.DeviceCacheLines > 0 {
+			e.caches[i] = cache.New(cfg.DeviceCacheLines, cfg.DeviceCacheWays)
+		}
+	}
+	return e
+}
+
+// invalidateAll performs the write-invalidate coherence action for a
+// device line in every core's cache (§V-C: with the memory-mapped
+// interface "the device data is stored in hardware caches and kept
+// coherent across cores in the event of a write").
+func (e *env) invalidateAll(addr uint64) {
+	for _, c := range e.caches {
+		if c != nil {
+			c.Invalidate(addr)
+		}
+	}
+}
+
+// counters accumulates per-run totals across all cores.
+type counters struct {
+	accesses  int
+	writes    int
+	workInstr int64
+	switches  uint64
+	finish    sim.Time // time the last core finished
+
+	// per-access host-observed latency samples (issue to data-usable),
+	// for the percentile diagnostics
+	latencies []sim.Time
+
+	// software-queue path only
+	fetchBursts uint64
+	emptyBursts uint64
+	maxRQDepth  int
+
+	liveCores int
+	samples   []OccupancySample
+}
+
+// OccupancySample is one point of the optional occupancy timeline.
+type OccupancySample struct {
+	At        sim.Time
+	LFBInUse  int     // total across cores
+	ChipInUse int     // chip-level MMIO queue occupancy
+	UpUtil    float64 // upstream link utilization so far
+}
+
+func (c *counters) recordLatency(l sim.Time) {
+	c.latencies = append(c.latencies, l)
+}
+
+func (c *counters) coreFinished(at sim.Time) {
+	if at > c.finish {
+		c.finish = at
+	}
+}
+
+// Diagnostics exposes the run's internal occupancy and traffic
+// statistics; experiments use them for figure notes and tests use them
+// to pin the bottleneck mechanics down.
+type Diagnostics struct {
+	MaxChipQueue   int     // peak occupancy of the 14-entry shared queue
+	ChipStalls     uint64  // requests that waited for a chip-queue slot
+	MaxLFB         int     // peak per-core LFB occupancy (max over cores)
+	LFBStalls      uint64  // prefetches that stalled on a full LFB pool
+	Switches       uint64  // user-level context switches
+	UpstreamUseful float64 // device->host useful-bytes fraction
+	UpstreamGBps   float64 // device->host useful bandwidth, GB/s
+	ReplayServed   uint64
+	OnDemand       uint64
+	FetchBursts    uint64 // SWQ: descriptor DMA bursts issued
+	EmptyBursts    uint64 // SWQ: bursts that found no descriptors
+	MaxRQDepth     int    // SWQ: request-queue high-water mark
+	Writes         int    // posted writes issued (§VII extension)
+	CacheHits      uint64 // device-line cache hits (locality extension)
+	CacheHitRate   float64
+
+	// Host-observed per-access latency percentiles, in nanoseconds:
+	// from request issue/submission until the data is usable by the
+	// thread. Zero if no accesses were sampled.
+	AccessP50Ns float64
+	AccessP99Ns float64
+
+	// Timeline holds the occupancy samples when Config.SamplePeriod is
+	// set.
+	Timeline []OccupancySample
+}
+
+func (e *env) diagnostics(c *counters) Diagnostics {
+	d := Diagnostics{
+		MaxChipQueue: e.chip.MaxInUse(),
+		ChipStalls:   e.chip.Stalls(),
+		Switches:     c.switches,
+		ReplayServed: e.dev.ReplayServed(),
+		OnDemand:     e.dev.OnDemandServed(),
+		FetchBursts:  c.fetchBursts,
+		EmptyBursts:  c.emptyBursts,
+		MaxRQDepth:   c.maxRQDepth,
+	}
+	for _, pool := range e.lfb {
+		if pool.MaxInUse() > d.MaxLFB {
+			d.MaxLFB = pool.MaxInUse()
+		}
+		d.LFBStalls += pool.Stalls()
+	}
+	d.Writes = c.writes
+	var hits, lookups uint64
+	for _, cc := range e.caches {
+		if cc != nil {
+			hits += cc.Hits()
+			lookups += cc.Hits() + cc.Misses()
+		}
+	}
+	d.CacheHits = hits
+	if lookups > 0 {
+		d.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	up := e.link.Upstream()
+	d.UpstreamUseful = up.UsefulFraction()
+	if c.finish > 0 {
+		d.UpstreamGBps = float64(up.UsefulBytes) / c.finish.Seconds() / 1e9
+	}
+	d.AccessP50Ns = percentileNs(c.latencies, 0.50)
+	d.AccessP99Ns = percentileNs(c.latencies, 0.99)
+	d.Timeline = c.samples
+	return d
+}
+
+// startSampler arms the periodic occupancy sampler; it re-arms itself
+// while any core is still running, so the simulation still drains.
+func (e *env) startSampler(c *counters) {
+	if e.cfg.SamplePeriod <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		lfb := 0
+		for _, pool := range e.lfb {
+			lfb += pool.InUse()
+		}
+		c.samples = append(c.samples, OccupancySample{
+			At:        e.eng.Now(),
+			LFBInUse:  lfb,
+			ChipInUse: e.chip.InUse(),
+			UpUtil:    e.link.Upstream().Utilization,
+		})
+		if c.liveCores > 0 {
+			e.eng.After(e.cfg.SamplePeriod, tick)
+		}
+	}
+	e.eng.After(e.cfg.SamplePeriod, tick)
+}
+
+// percentileNs returns the q-quantile of the samples in nanoseconds
+// (nearest-rank), or 0 with no samples. The sample slice is sorted in
+// place.
+func percentileNs(samples []sim.Time, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q*float64(len(samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx].Nanoseconds()
+}

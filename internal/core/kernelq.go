@@ -1,0 +1,147 @@
+package core
+
+import (
+	"repro/internal/hostmem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/uthread"
+)
+
+// runKernelQCore executes one core under kernel-managed software queues
+// — "the age-old approach to device access" (§III-A). The paper
+// dismisses it analytically ("these overheads dwarf the access latency,
+// making kernel-managed queues ineffective") and omits it from its
+// evaluation; this model quantifies the dismissal.
+//
+// Per access, the application performs a system call; the kernel writes
+// the descriptor, rings the doorbell (there is no doorbell-request-flag
+// optimization in this interface), de-schedules the thread with a
+// kernel-mode context switch, and on the device's completion interrupt
+// pays the interrupt cost plus another kernel switch before the thread
+// returns from its syscall.
+func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+	rq := hostmem.NewRequestQueue()
+	cq := hostmem.NewCompletionQueue()
+	ep := e.dev.NewSWQEndpoint(coreID, rq, cq)
+	defer ep.Stop()
+	defer func() {
+		c.fetchBursts += ep.FetchBursts()
+		c.emptyBursts += ep.EmptyBursts()
+		if rq.MaxDepth() > c.maxRQDepth {
+			c.maxRQDepth = rq.MaxDepth()
+		}
+	}()
+
+	ready := uthread.NewFIFO()
+	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
+	waiting := make(map[uint64]descWait)
+	for _, th := range threads {
+		states[th] = &swqThreadState{}
+		ready.Push(th)
+	}
+	live := len(threads)
+
+	for live > 0 {
+		th := ready.Pop()
+		if th == nil {
+			// The OS idles (or runs unrelated processes) until the
+			// device raises a completion interrupt.
+			gate := ep.CompletionGate()
+			compls := cq.Drain()
+			if len(compls) == 0 {
+				p.Wait(gate)
+				continue
+			}
+			// Interrupt delivery + handler, then wake the syscall
+			// waiters; completions present in the queue coalesce into
+			// one interrupt.
+			p.Sleep(e.cfg.InterruptCost)
+			for _, compl := range compls {
+				w, ok := waiting[compl.ID]
+				if !ok {
+					continue
+				}
+				delete(waiting, compl.ID)
+				st := states[w.th]
+				st.data[w.slot] = ep.Data(compl.ID)
+				st.remaining--
+				if st.remaining == 0 {
+					st.payload = st.data
+					ready.Push(w.th)
+				}
+			}
+			continue
+		}
+
+		st := states[th]
+		var req uthread.Request
+		if st.started {
+			// The thread was de-scheduled inside its syscall; resuming
+			// always pays a kernel-mode context switch (even a sole
+			// thread was switched away from), then the syscall returns.
+			p.Sleep(e.cfg.KernelCtxSwitch)
+			c.switches++
+			p.Sleep(e.cfg.SyscallCost)
+			req = th.Resume(st.payload)
+			st.payload = nil
+		} else {
+			st.started = true
+			req = th.Start()
+		}
+
+		for req.Kind == uthread.KindWork {
+			p.Sleep(e.cfg.WorkTime(req.Instr))
+			c.workInstr += int64(req.Instr)
+			req = th.Resume(nil)
+		}
+
+		switch req.Kind {
+		case uthread.KindAccess:
+			// Syscall entry, kernel queueing, unconditional doorbell,
+			// then the kernel de-schedules the thread.
+			p.Sleep(e.cfg.SyscallCost)
+			st.data = make([][]byte, len(req.Addrs))
+			st.remaining = len(req.Addrs)
+			for i, addr := range req.Addrs {
+				p.Sleep(e.cfg.SWQPerAccessOverhead)
+				c.accesses++
+				id := rq.Push(addr, responseTarget(coreID, th.ID(), i), p.Now())
+				waiting[id] = descWait{th: th, slot: i, submitted: p.Now()}
+			}
+			p.Sleep(e.cfg.DoorbellMMIO)
+			rq.ClearDoorbellRequested()
+			ep.Doorbell()
+			p.Sleep(e.cfg.KernelCtxSwitch) // de-schedule
+		case uthread.KindDone:
+			live--
+		}
+	}
+	c.coreFinished(p.Now())
+}
+
+// RunKernelQueue measures the kernel-managed software-queue interface —
+// the baseline the paper rules out in §III-A. Included to quantify that
+// dismissal: per-access syscalls, kernel context switches, and
+// completion interrupts dwarf a microsecond access.
+func RunKernelQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+	return runThreaded(cfg, w, "kernelq", threadsPerCore, useReplay, runKernelQCore)
+}
+
+// RunSMT measures simultaneous multithreading as a latency-hiding aid
+// for on-demand accesses (§III-B): the core's hardware contexts each
+// run the demand-access loop, and the core switches contexts for free
+// when one blocks on a device load. The paper's point stands in the
+// numbers: with commodity SMT widths (2), the benefit is a small factor
+// — nowhere near the 10+ concurrent accesses a microsecond needs.
+//
+// The model reuses the threaded executor with a zero-cost switch and
+// zero-cost request issue: a blocked context's load occupies an LFB and
+// a chip-queue slot exactly as a prefetch would, but only SMTContexts
+// accesses can ever be outstanding.
+func RunSMT(cfg platform.Config, w Workload) Result {
+	smt := cfg
+	smt.CtxSwitch = 0
+	smt.PrefetchIssue = 0
+	r := runThreaded(smt, w, "smt", cfg.SMTContexts, false, runPrefetchCore)
+	return r
+}

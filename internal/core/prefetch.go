@@ -1,0 +1,138 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/uthread"
+)
+
+// pendingAccess tracks one thread's outstanding prefetch batch: the
+// in-flight lines and the slots their data will land in.
+type pendingAccess struct {
+	data   [][]byte
+	gates  []*sim.Gate
+	issued sim.Time
+}
+
+// runPrefetchCore executes one core under the prefetch mechanism
+// (Listing 1): for every device access the thread issues a non-binding
+// prefetch per line — allocating an LFB entry, and a chip-level queue
+// slot on the way to the PCIe controller — then performs a user-level
+// context switch. The round-robin scheduler later resumes the thread,
+// whose demand load either hits in the L1 (the fill arrived) or blocks
+// the core until the in-flight miss completes (MSHR merge).
+func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+	initial := make(map[*uthread.Thread]uthread.Request, len(threads))
+	pending := make(map[*uthread.Thread]*pendingAccess, len(threads))
+	for _, th := range threads {
+		initial[th] = th.Start()
+	}
+	rr := uthread.NewRoundRobin(threads)
+	var cur *uthread.Thread
+
+	for {
+		th := rr.Next()
+		if th == nil {
+			break
+		}
+		if cur != nil && th != cur {
+			p.Sleep(e.cfg.CtxSwitch)
+			c.switches++
+		}
+		cur = th
+
+		// Obtain the thread's next request: deliver prefetched data
+		// (waiting on any line still in flight), or pick up the request
+		// captured at Start.
+		var req uthread.Request
+		if pa := pending[th]; pa != nil {
+			for _, g := range pa.gates {
+				if g == nil {
+					continue // cache hit: nothing in flight
+				}
+				p.Wait(g) // demand load; no cost if the line already filled
+			}
+			c.recordLatency(p.Now() - pa.issued)
+			delete(pending, th)
+			req = th.Resume(pa.data)
+		} else {
+			req = initial[th]
+			delete(initial, th)
+		}
+
+		// Work and posted writes do not yield; run the thread until it
+		// reads or ends.
+	inner:
+		for {
+			switch req.Kind {
+			case uthread.KindWork:
+				p.Sleep(e.cfg.WorkTime(req.Instr))
+				c.workInstr += int64(req.Instr)
+				req = th.Resume(nil)
+			case uthread.KindWrite:
+				// Posted stores: each takes a store-buffer entry (a
+				// full buffer stalls the core) and drains to the device
+				// asynchronously; the thread continues immediately.
+				// Coherence invalidates the line in every core's cache
+				// (§V-C).
+				for _, addr := range req.Addrs {
+					p.AcquireToken(e.storeBuf[coreID])
+					p.Sleep(e.cfg.WriteIssue)
+					c.writes++
+					e.invalidateAll(addr)
+					sb := e.storeBuf[coreID]
+					e.dev.MMIOWrite(coreID, addr, sb.Release)
+				}
+				req = th.Resume(nil)
+			default:
+				break inner
+			}
+		}
+
+		if req.Kind == uthread.KindAccess {
+			pa := &pendingAccess{
+				data:   make([][]byte, len(req.Addrs)),
+				gates:  make([]*sim.Gate, len(req.Addrs)),
+				issued: p.Now(),
+			}
+			for i, addr := range req.Addrs {
+				// A cache hit satisfies the prefetch on-chip: no LFB
+				// entry, no device access (§III-B, cacheable MMIO).
+				if cc := e.caches[coreID]; cc != nil {
+					if data, ok := cc.Lookup(addr); ok {
+						pa.data[i] = data
+						continue
+					}
+				}
+
+				// prefetcht0: allocate an LFB entry; a full pool stalls
+				// the core until an entry frees — the 10-entry limit of
+				// §V-B.
+				p.AcquireToken(e.lfb[coreID])
+				p.Sleep(e.cfg.PrefetchIssue)
+				c.accesses++
+
+				g := e.eng.NewGate()
+				pa.gates[i] = g
+				i, addr := i, addr
+				lfb := e.lfb[coreID]
+				// The request proceeds to the device once a slot in the
+				// chip-level shared queue frees; the wait happens in the
+				// hardware queues, not on the core.
+				e.chip.OnAcquire(func() {
+					e.dev.MMIORead(coreID, addr, func(data []byte) {
+						pa.data[i] = data
+						if cc := e.caches[coreID]; cc != nil {
+							cc.Insert(addr, data)
+						}
+						e.chip.Release()
+						lfb.Release()
+						g.Fire()
+					})
+				})
+			}
+			pending[th] = pa
+			// userctx_yield(): fall through to the scheduler.
+		}
+	}
+	c.coreFinished(p.Now())
+}

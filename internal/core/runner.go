@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uthread"
+)
+
+// Result is one measured run: the paper-facing measurement plus the
+// internal diagnostics that explain it.
+type Result struct {
+	stats.Measurement
+	Diag Diagnostics
+}
+
+// RunDRAMBaseline measures the single-threaded on-demand DRAM run that
+// every result is normalized to (§IV-C). Multicore experiments are also
+// normalized to this single-core baseline ("normalize all results to the
+// performance of a single-core DRAM baseline", §V-B).
+func RunDRAMBaseline(cfg platform.Config, w Workload) Result {
+	trace := w.BaselineTrace(0)
+	r := cpu.DRAMBaseline(cfg, trace)
+	return Result{Measurement: stats.Measurement{
+		Label:          fmt.Sprintf("dram-baseline/%s", w.Name()),
+		Iterations:     len(trace),
+		Accesses:       r.Accesses,
+		WorkInstr:      float64(r.WorkInstr),
+		ElapsedSeconds: r.Elapsed.Seconds(),
+	}}
+}
+
+// RunOnDemandDevice measures unmodified software demand-loading the
+// microsecond device through the cacheable MMIO mapping (Fig 2): the
+// interval core model with the device latency and the chip-level queue
+// bound.
+func RunOnDemandDevice(cfg platform.Config, w Workload) Result {
+	trace := w.BaselineTrace(0)
+	r := cpu.DeviceOnDemand(cfg, trace)
+	return Result{Measurement: stats.Measurement{
+		Label:          fmt.Sprintf("ondemand/%s lat=%v", w.Name(), cfg.DeviceLatency),
+		Iterations:     len(trace),
+		Accesses:       r.Accesses,
+		WorkInstr:      float64(r.WorkInstr),
+		ElapsedSeconds: r.Elapsed.Seconds(),
+	}}
+}
+
+// coreRunner is one mechanism's per-core executor.
+type coreRunner func(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters)
+
+// RunPrefetch measures the prefetch + user-level-context-switch
+// mechanism with threadsPerCore threads on each of cfg.Cores cores.
+//
+// useReplay selects the paper's two-run methodology (§IV-A): a recording
+// run captures each core's (address, data) sequence, and the measured
+// run serves it through the replay modules. Workloads whose control flow
+// depends on device data (the applications) should set it; the
+// microbenchmark's synthetic pattern does not need it.
+func RunPrefetch(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+	return runThreaded(cfg, w, "prefetch", threadsPerCore, useReplay, runPrefetchCore)
+}
+
+// RunSWQueue measures the application-managed software-queue mechanism.
+func RunSWQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+	return runThreaded(cfg, w, "swqueue", threadsPerCore, useReplay, runSWQCore)
+}
+
+func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore int, useReplay bool, run coreRunner) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if threadsPerCore <= 0 {
+		panic(fmt.Sprintf("core: threadsPerCore %d must be positive", threadsPerCore))
+	}
+
+	e := newEnv(cfg, w.Backing())
+	if useReplay {
+		// Recording run: same execution, device in capture mode.
+		rec := newEnv(cfg, w.Backing())
+		for coreID := 0; coreID < cfg.Cores; coreID++ {
+			rec.dev.EnableRecording(coreID)
+		}
+		launch(rec, w, threadsPerCore, run)
+		for coreID := 0; coreID < cfg.Cores; coreID++ {
+			if err := e.dev.LoadRecording(coreID, rec.dev.TakeRecording(coreID), 0); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	c := launch(e, w, threadsPerCore, run)
+	return Result{
+		Measurement: stats.Measurement{
+			Label: fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
+				mech, w.Name(), cfg.DeviceLatency, cfg.Cores, threadsPerCore),
+			Accesses:       c.accesses,
+			WorkInstr:      float64(c.workInstr),
+			ElapsedSeconds: c.finish.Seconds(),
+		},
+		Diag: e.diagnostics(c),
+	}
+}
+
+// RecordAccessTrace performs a recording run (the first of the paper's
+// two runs, §IV-A) of the workload under the given mechanism and
+// returns each core's captured (address, data) sequence. The recordings
+// can be persisted with replay.Recording.WriteTo and later loaded into
+// measured runs — the record-once, replay-many workflow of the paper's
+// platform. mech is "prefetch", "swqueue", or "kernelq".
+func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech string) (map[int]*replay.Recording, error) {
+	var run coreRunner
+	switch mech {
+	case "prefetch":
+		run = runPrefetchCore
+	case "swqueue":
+		run = runSWQCore
+	case "kernelq":
+		run = runKernelQCore
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %q", mech)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threadsPerCore <= 0 {
+		return nil, fmt.Errorf("core: threadsPerCore %d must be positive", threadsPerCore)
+	}
+	e := newEnv(cfg, w.Backing())
+	for coreID := 0; coreID < cfg.Cores; coreID++ {
+		e.dev.EnableRecording(coreID)
+	}
+	launch(e, w, threadsPerCore, run)
+	out := make(map[int]*replay.Recording, cfg.Cores)
+	for coreID := 0; coreID < cfg.Cores; coreID++ {
+		out[coreID] = e.dev.TakeRecording(coreID)
+	}
+	return out, nil
+}
+
+// launch starts one executor process per core, each driving its own set
+// of user-level threads, runs the simulation to completion, and returns
+// the accumulated counters.
+func launch(e *env, w Workload, threadsPerCore int, run coreRunner) *counters {
+	c := &counters{liveCores: e.cfg.Cores}
+	e.startSampler(c)
+	for coreID := 0; coreID < e.cfg.Cores; coreID++ {
+		threads := make([]*uthread.Thread, threadsPerCore)
+		for t := range threads {
+			threads[t] = uthread.New(t, w.Body(coreID, t, threadsPerCore))
+		}
+		coreID, threads := coreID, threads
+		e.eng.Go(fmt.Sprintf("core%d", coreID), func(p *sim.Proc) {
+			run(p, e, coreID, threads, c)
+			c.liveCores--
+		})
+	}
+	e.eng.Run()
+	return c
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"repro/internal/hostmem"
+	"repro/internal/sim"
+	"repro/internal/uthread"
+)
+
+// swqThreadState tracks one thread's lifecycle under the FIFO scheduler.
+type swqThreadState struct {
+	started   bool
+	payload   [][]byte // data to deliver on the next resume
+	data      [][]byte // in-progress batch results, by slot
+	remaining int      // descriptors of the current batch still pending
+}
+
+// descWait maps an outstanding descriptor to the thread slot its data
+// belongs to.
+type descWait struct {
+	th        *uthread.Thread
+	slot      int
+	submitted sim.Time
+}
+
+// runSWQCore executes one core under the application-managed
+// software-queue mechanism (§III-A as refined in §IV): threads submit
+// descriptors to the in-memory request queue (ringing the MMIO doorbell
+// only when the doorbell-request flag is set), and a FIFO user-level
+// scheduler runs ready threads, polling the completion queue "only when
+// no threads remain in the ready state" (§IV-B).
+func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+	rq := hostmem.NewRequestQueue()
+	cq := hostmem.NewCompletionQueue()
+	ep := e.dev.NewSWQEndpoint(coreID, rq, cq)
+	defer ep.Stop()
+
+	ready := uthread.NewFIFO()
+	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
+	waiting := make(map[uint64]descWait)
+	for _, th := range threads {
+		states[th] = &swqThreadState{}
+		ready.Push(th)
+	}
+	live := len(threads)
+	var cur *uthread.Thread
+	defer func() {
+		c.fetchBursts += ep.FetchBursts()
+		c.emptyBursts += ep.EmptyBursts()
+		if rq.MaxDepth() > c.maxRQDepth {
+			c.maxRQDepth = rq.MaxDepth()
+		}
+	}()
+
+	for live > 0 {
+		th := ready.Pop()
+		if th == nil {
+			// No ready threads: poll the completion queue. The gate is
+			// taken before draining so a completion that lands between
+			// the drain and the wait still wakes the scheduler.
+			gate := ep.CompletionGate()
+			p.Sleep(e.cfg.CompletionPoll)
+			compls := cq.Drain()
+			if len(compls) == 0 {
+				p.Wait(gate)
+				continue
+			}
+			for _, compl := range compls {
+				w, ok := waiting[compl.ID]
+				if !ok {
+					continue // write completion: fire-and-forget
+				}
+				delete(waiting, compl.ID)
+				c.recordLatency(compl.Posted - w.submitted)
+				st := states[w.th]
+				st.data[w.slot] = ep.Data(compl.ID)
+				st.remaining--
+				if st.remaining == 0 {
+					// The thread wakes with its whole batch; threads
+					// become ready in completion order (FIFO, §IV-B).
+					st.payload = st.data
+					ready.Push(w.th)
+				}
+			}
+			continue
+		}
+
+		if cur != nil && th != cur {
+			p.Sleep(e.cfg.CtxSwitch)
+			c.switches++
+		}
+		cur = th
+
+		st := states[th]
+		var req uthread.Request
+		if st.started {
+			req = th.Resume(st.payload)
+			st.payload = nil
+		} else {
+			st.started = true
+			req = th.Start()
+		}
+
+	inner:
+		for {
+			switch req.Kind {
+			case uthread.KindWork:
+				p.Sleep(e.cfg.WorkTime(req.Instr))
+				c.workInstr += int64(req.Instr)
+				req = th.Resume(nil)
+			case uthread.KindWrite:
+				// Fire-and-forget write descriptors: queue-management
+				// cost is paid, but the thread does not wait (§VII).
+				for _, addr := range req.Addrs {
+					p.Sleep(e.cfg.SWQPerAccessOverhead)
+					c.writes++
+					rq.PushWrite(addr, responseTarget(coreID, th.ID(), 0), p.Now())
+				}
+				if rq.DoorbellRequested() || e.cfg.SWQAlwaysDoorbell {
+					p.Sleep(e.cfg.DoorbellMMIO)
+					rq.ClearDoorbellRequested()
+					ep.Doorbell()
+				}
+				req = th.Resume(nil)
+			default:
+				break inner
+			}
+		}
+
+		switch req.Kind {
+		case uthread.KindAccess:
+			// Submit the batch: fixed queue-management cost plus a
+			// marginal cost per descriptor (§V-C: overhead grows with
+			// the number of accesses "even when the accesses are
+			// batched").
+			p.Sleep(e.cfg.SWQBatchOverhead)
+			st.data = make([][]byte, len(req.Addrs))
+			st.remaining = len(req.Addrs)
+			for i, addr := range req.Addrs {
+				p.Sleep(e.cfg.SWQPerAccessOverhead)
+				c.accesses++
+				id := rq.Push(addr, responseTarget(coreID, th.ID(), i), p.Now())
+				waiting[id] = descWait{th: th, slot: i, submitted: p.Now()}
+			}
+			// Ring the doorbell only if the device asked for it (or on
+			// every submission, in the ablated flagless variant).
+			if rq.DoorbellRequested() || e.cfg.SWQAlwaysDoorbell {
+				p.Sleep(e.cfg.DoorbellMMIO)
+				rq.ClearDoorbellRequested()
+				ep.Doorbell()
+			}
+		case uthread.KindDone:
+			live--
+		}
+	}
+	c.coreFinished(p.Now())
+}
+
+// responseTarget synthesizes a distinct host-memory response buffer
+// address per (core, thread, slot); the software queues never share
+// response locations (§V-C).
+func responseTarget(coreID, threadID, slot int) uint64 {
+	return 1<<63 | uint64(coreID)<<40 | uint64(threadID)<<20 | uint64(slot)<<6
+}

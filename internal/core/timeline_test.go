@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestOccupancyTimeline(t *testing.T) {
+	cfg := platform.Default()
+	cfg.SamplePeriod = 200 * sim.Nanosecond
+	w := workload.NewMicrobench(1500, workload.DefaultWorkCount, 1)
+	r := RunPrefetch(cfg, w, 10, false)
+
+	if len(r.Diag.Timeline) < 10 {
+		t.Fatalf("timeline has %d samples", len(r.Diag.Timeline))
+	}
+	// Samples are ordered and spaced by the period.
+	for i := 1; i < len(r.Diag.Timeline); i++ {
+		if r.Diag.Timeline[i].At-r.Diag.Timeline[i-1].At != cfg.SamplePeriod {
+			t.Fatalf("sample spacing %v at %d", r.Diag.Timeline[i].At-r.Diag.Timeline[i-1].At, i)
+		}
+	}
+	// At steady state the 10-thread run keeps the LFB pool essentially
+	// full; at least one sample must show it saturated and none may
+	// exceed capacity.
+	sawFull := false
+	for _, s := range r.Diag.Timeline {
+		if s.LFBInUse > cfg.LFBPerCore {
+			t.Fatalf("sample shows %d LFBs in use, capacity %d", s.LFBInUse, cfg.LFBPerCore)
+		}
+		if s.LFBInUse >= cfg.LFBPerCore-1 {
+			sawFull = true
+		}
+		if s.ChipInUse > s.LFBInUse {
+			t.Fatalf("chip occupancy %d above LFB occupancy %d", s.ChipInUse, s.LFBInUse)
+		}
+	}
+	if !sawFull {
+		t.Error("timeline never showed the LFB pool near saturation at 10 threads")
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	w := workload.NewMicrobench(200, workload.DefaultWorkCount, 1)
+	r := RunPrefetch(platform.Default(), w, 4, false)
+	if len(r.Diag.Timeline) != 0 {
+		t.Errorf("timeline sampled %d points without being enabled", len(r.Diag.Timeline))
+	}
+}
+
+func TestTimelineDoesNotChangeTiming(t *testing.T) {
+	w := workload.NewMicrobench(800, workload.DefaultWorkCount, 1)
+	plain := RunPrefetch(platform.Default(), w, 8, false)
+	cfg := platform.Default()
+	cfg.SamplePeriod = 100 * sim.Nanosecond
+	sampled := RunPrefetch(cfg, w, 8, false)
+	if plain.ElapsedSeconds != sampled.ElapsedSeconds {
+		t.Errorf("sampling changed timing: %.9g vs %.9g", plain.ElapsedSeconds, sampled.ElapsedSeconds)
+	}
+}

@@ -1,0 +1,238 @@
+package device
+
+import (
+	"repro/internal/hostmem"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// SWQEndpoint is the device side of the application-managed
+// software-queue interface for one core (§IV-A, Software-Managed Queue
+// Design): a doorbell register, a request fetcher that burst-reads
+// descriptors from host memory, and the delay-module response path that
+// writes response data and completion entries back into host memory.
+type SWQEndpoint struct {
+	dev    *Device
+	coreID int
+	rq     *hostmem.RequestQueue
+	cq     *hostmem.CompletionQueue
+
+	doorbell *sim.Gate // armed while the fetcher is parked
+	cqNotify *sim.Gate // fired whenever a completion is posted
+
+	data map[uint64][]byte // response lines landed in host memory, by descriptor ID
+
+	fetchBursts  uint64 // DMA burst reads issued
+	emptyBursts  uint64 // bursts that returned no descriptors
+	doorbellHits uint64 // doorbell MMIO writes received
+
+	stopped bool // fetcher shutdown requested (end of run)
+}
+
+// NewSWQEndpoint creates the endpoint for coreID over the given
+// host-memory queues and starts its request fetcher.
+func (d *Device) NewSWQEndpoint(coreID int, rq *hostmem.RequestQueue, cq *hostmem.CompletionQueue) *SWQEndpoint {
+	e := &SWQEndpoint{
+		dev:      d,
+		coreID:   coreID,
+		rq:       rq,
+		cq:       cq,
+		doorbell: d.eng.NewGate(),
+		cqNotify: d.eng.NewGate(),
+		data:     map[uint64][]byte{},
+	}
+	d.eng.Go("fetcher", e.runFetcher)
+	return e
+}
+
+// Doorbell delivers the host's MMIO doorbell write to the device,
+// restarting the parked fetcher when the write arrives. The host-side
+// CPU cost of the uncached write is charged by the caller.
+func (e *SWQEndpoint) Doorbell() {
+	e.dev.link.SendDown(0, 0, func() {
+		e.doorbellHits++
+		if !e.doorbell.Fired() {
+			e.doorbell.Fire()
+		}
+	})
+}
+
+// CompletionGate returns a gate that fires the next time a completion is
+// posted. Callers must obtain the gate before checking the completion
+// queue to avoid a lost wakeup.
+func (e *SWQEndpoint) CompletionGate() *sim.Gate { return e.cqNotify }
+
+// Data returns the response line for a completed descriptor, consuming
+// it (it models the host reading the line from the descriptor's target
+// address).
+func (e *SWQEndpoint) Data(id uint64) []byte {
+	line := e.data[id]
+	delete(e.data, id)
+	return line
+}
+
+// FetchBursts returns the number of DMA burst reads issued.
+func (e *SWQEndpoint) FetchBursts() uint64 { return e.fetchBursts }
+
+// EmptyBursts returns how many bursts found no descriptors.
+func (e *SWQEndpoint) EmptyBursts() uint64 { return e.emptyBursts }
+
+// DoorbellHits returns how many doorbell writes the device received.
+func (e *SWQEndpoint) DoorbellHits() uint64 { return e.doorbellHits }
+
+// Stop shuts the request fetcher down after it drains its current work;
+// the harness calls it at the end of a measured run so the fetcher's
+// simulated process exits.
+func (e *SWQEndpoint) Stop() {
+	e.stopped = true
+	if !e.doorbell.Fired() {
+		e.doorbell.Fire()
+	}
+}
+
+// runFetcher is the request fetcher state machine. Parked until a
+// doorbell arrives, it then burst-reads descriptors from host memory and
+// keeps reading "so long as at least one new descriptor is retrieved
+// during the last burst" (§IV-A). When a burst comes back empty it sets
+// the in-memory doorbell-request flag, performs one final burst read to
+// close the race with a host that submitted after the empty burst but
+// before the flag landed, and parks again.
+func (e *SWQEndpoint) runFetcher(p *sim.Proc) {
+	for {
+		p.Wait(e.doorbell)
+		if e.stopped {
+			return
+		}
+		e.doorbell = e.dev.eng.NewGate() // re-arm for the next park
+
+		for {
+			burst := e.fetchBurst(p)
+			if len(burst) > 0 {
+				e.process(burst)
+				continue
+			}
+			// Empty burst: publish the doorbell-request flag via a DMA
+			// write, then re-check once.
+			e.writeDoorbellFlag(p)
+			final := e.fetchBurst(p)
+			if len(final) > 0 {
+				e.process(final)
+				continue
+			}
+			break
+		}
+	}
+}
+
+// fetchBurst performs one DMA burst read of up to FetchBurst descriptors
+// from the host request queue: an upstream read-request TLP, the host
+// memory access, and the downstream completion TLP carrying the
+// descriptors.
+func (e *SWQEndpoint) fetchBurst(p *sim.Proc) []hostmem.Descriptor {
+	e.fetchBursts++
+	reqArrived := e.dev.eng.NewGate()
+	e.dev.link.SendUp(0, 0, reqArrived.Fire)
+	p.Wait(reqArrived)
+
+	e.dev.hostDRAM.ReadBlocking(p)
+	burst := e.rq.PopBurst(e.dev.cfg.FetchBurst)
+	if len(burst) == 0 {
+		e.emptyBursts++
+	}
+
+	payload := len(burst) * e.dev.cfg.DescriptorBytes
+	descArrived := e.dev.eng.NewGate()
+	e.dev.link.SendDown(payload, 0, descArrived.Fire)
+	p.Wait(descArrived)
+	return burst
+}
+
+// writeDoorbellFlag performs the small DMA write that sets the
+// doorbell-request flag in host memory.
+func (e *SWQEndpoint) writeDoorbellFlag(p *sim.Proc) {
+	landed := e.dev.eng.NewGate()
+	e.dev.link.SendUp(8, 0, func() {
+		e.dev.hostDRAM.Write(landed)
+	})
+	p.Wait(landed)
+	e.rq.SetDoorbellRequested()
+}
+
+// process forwards fetched descriptors to the replay module and
+// schedules the delay-module response path for each: a response-data
+// write into the descriptor's target address followed — strictly after,
+// as the protocol requires (§IV-A) — by a completion-queue write.
+// Processing is asynchronous: the fetcher immediately continues with its
+// next burst while responses are in flight.
+func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
+	arrival := e.dev.eng.Now()
+	for _, desc := range burst {
+		desc := desc
+		if desc.Write {
+			e.processWrite(desc, arrival)
+			continue
+		}
+		data, fromReplay := e.dev.serve(e.coreID, desc.Addr)
+		// The delay module times responses off the descriptor's
+		// submission timestamp, so the emulated latency is measured
+		// from the host's enqueue — but a response can never leave
+		// before its descriptor has been fetched.
+		sendAt := desc.Submitted + e.dev.cfg.InternalDelayFor(e.dev.effectiveLatency())
+		if sendAt < arrival {
+			sendAt = arrival
+		}
+		if !fromReplay {
+			earliest := arrival + OnDemandDRAMLatency
+			if earliest > sendAt {
+				sendAt = earliest
+			}
+		}
+		// Response-data write TLP, then host DRAM write.
+		e.dev.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
+			dataLanded := e.dev.eng.NewGate()
+			e.dev.hostDRAM.Write(dataLanded)
+			dataLanded.OnFire(func() {
+				e.data[desc.ID] = data
+			})
+		})
+		// Completion write queues behind the data write on the upstream
+		// link, guaranteeing host-visible ordering.
+		e.dev.link.SendUpAt(sendAt, e.dev.cfg.CompletionBytes, 0, func() {
+			complLanded := e.dev.eng.NewGate()
+			e.dev.hostDRAM.Write(complLanded)
+			complLanded.OnFire(func() {
+				e.cq.Post(desc.ID, e.dev.eng.Now())
+				old := e.cqNotify
+				e.cqNotify = e.dev.eng.NewGate()
+				old.Fire()
+			})
+		})
+	}
+}
+
+// processWrite handles a write descriptor (§VII extension): the device
+// DMA-reads the source line from host memory (read request upstream,
+// data completion downstream), absorbs the store, and posts a
+// completion the host scheduler discards.
+func (e *SWQEndpoint) processWrite(desc hostmem.Descriptor, arrival sim.Time) {
+	e.dev.writesServed++
+	e.dev.link.SendUp(0, 0, func() {
+		fetched := e.dev.eng.NewGate()
+		e.dev.hostDRAM.Read(fetched)
+		fetched.OnFire(func() {
+			e.dev.link.SendDown(platform.CacheLineBytes, platform.CacheLineBytes, func() {
+				// Store absorbed; completion flows back.
+				e.dev.link.SendUp(e.dev.cfg.CompletionBytes, 0, func() {
+					complLanded := e.dev.eng.NewGate()
+					e.dev.hostDRAM.Write(complLanded)
+					complLanded.OnFire(func() {
+						e.cq.Post(desc.ID, e.dev.eng.Now())
+						old := e.cqNotify
+						e.cqNotify = e.dev.eng.NewGate()
+						old.Fire()
+					})
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationLFB tests the paper's central implication (§V-B): "If the
+// per-core LFB limit of 10 could be lifted, given enough threads, even
+// 4us-latency devices could match the performance of DRAM", with the
+// provisioning rule "approximately 20 x expected-device-latency-in-
+// microseconds" entries per core. The chip-level queue is raised out of
+// the way so the per-core limit is isolated.
+func (s Suite) AblationLFB() *stats.Table {
+	t := &stats.Table{
+		ID:     "ablation-lfb",
+		Title:  "Lifting the per-core LFB limit (4us device, 100 threads)",
+		XLabel: "LFBs per core",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	threads := 100
+	series := t.AddSeries("4us")
+	for _, lfb := range []int{10, 20, 40, 60, 80, 120} {
+		cfg := s.Base.WithLatency(4 * sim.Microsecond)
+		cfg.LFBPerCore = lfb
+		cfg.ChipQueueMMIO = 4096 // isolate the per-core limit
+		base := core.RunDRAMBaseline(cfg, wl)
+		r := core.RunPrefetch(cfg, wl, threads, false)
+		series.Add(float64(lfb), r.NormalizedTo(base.Measurement))
+	}
+	rule := 20 * 4 // 20 x latency-in-us
+	t.Note("paper's rule sizes the 4us queue at %d entries; the curve should be near DRAM parity there", rule)
+	return t
+}
+
+// AblationChipQueue tests the multicore implication: sizing the
+// chip-level shared queue at "20 x latency-in-us x cores-per-chip"
+// restores multicore prefetch scaling (§V-B).
+func (s Suite) AblationChipQueue() *stats.Table {
+	t := &stats.Table{
+		ID:     "ablation-chipq",
+		Title:  "Lifting the chip-level queue limit (1us device, 8 cores, 12 threads/core)",
+		XLabel: "chip-level queue entries",
+		YLabel: "normalized work IPC (vs single-core DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	stock := t.AddSeries("1us 8c (PCIe Gen2 x8)")
+	fat := t.AddSeries("1us 8c (4x link bandwidth)")
+	for _, q := range []int{14, 28, 56, 112, 160, 224} {
+		cfg := s.Base.WithCores(8)
+		cfg.ChipQueueMMIO = q
+		cfg.LFBPerCore = 20 // per-core rule for 1us
+		base := core.RunDRAMBaseline(cfg, wl)
+		stock.Add(float64(q), core.RunPrefetch(cfg, wl, 12, false).NormalizedTo(base.Measurement))
+
+		// Eight cores at DRAM parity generate ~7.6 GB/s of MMIO
+		// responses — above the Gen2 x8 wire itself. The paper's
+		// suggestion to attach such devices to the memory interconnect
+		// (§V-B) is modeled as a 4x-bandwidth link.
+		cfg.PCIeBandwidth *= 4
+		fat.Add(float64(q), core.RunPrefetch(cfg, wl, 12, false).NormalizedTo(base.Measurement))
+	}
+	t.Note("paper's rule sizes the chip queue at 20 x 1us x 8 cores = 160 entries")
+	t.Note("on the stock link, queue sizing alone saturates the PCIe wire; a memory-interconnect-class link restores full scaling (§V-B)")
+	return t
+}
+
+// AblationRule derives the paper's provisioning coefficient
+// empirically. §V-B asserts: "Each microsecond of latency can be
+// effectively hidden by 10-20 in-flight device accesses per core", so
+// queues should hold "approximately 20 x expected-device-latency-in-
+// microseconds". For each latency this ablation searches for the
+// smallest per-core queue reaching 95% of DRAM parity (on an otherwise
+// unconstrained platform) and reports entries-per-microsecond.
+func (s Suite) AblationRule() *stats.Table {
+	t := &stats.Table{
+		ID:     "ablation-rule",
+		Title:  "Deriving the queue-provisioning rule (entries for 95% of DRAM parity)",
+		XLabel: "device latency (us)",
+		YLabel: "required per-core queue entries",
+	}
+	entries := t.AddSeries("required entries")
+	perUs := t.AddSeries("entries per microsecond")
+	for _, lat := range []sim.Time{1 * sim.Microsecond, 2 * sim.Microsecond,
+		4 * sim.Microsecond, 8 * sim.Microsecond} {
+		target := 0.95
+
+		reach := func(lfb int) bool {
+			cfg := s.Base.WithLatency(lat)
+			cfg.LFBPerCore = lfb
+			cfg.ChipQueueMMIO = 4096
+			cfg.PCIeBandwidth *= 8 // keep the wire out of the way
+			threads := lfb + lfb/2
+			// Size the run so warm-up (one device latency) is noise:
+			// every thread gets enough steady-state iterations.
+			iters := s.Iterations
+			if min := threads * 40; iters < min {
+				iters = min
+			}
+			wl := workload.NewMicrobench(iters, workload.DefaultWorkCount, 1)
+			base := core.RunDRAMBaseline(cfg, wl)
+			r := core.RunPrefetch(cfg, wl, threads, false)
+			return r.NormalizedTo(base.Measurement) >= target
+		}
+		// Galloping + binary search over the queue size.
+		lo, hi := 1, 2
+		for !reach(hi) {
+			lo, hi = hi, hi*2
+			if hi > 1024 {
+				break
+			}
+		}
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if reach(mid) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		us := lat.Microseconds()
+		entries.Add(us, float64(hi))
+		perUs.Add(us, float64(hi)/us)
+	}
+	t.Note("the paper's coefficient: 10-20 entries per microsecond of device latency (§V-B)")
+	return t
+}
+
+// AblationSwitchCost sweeps the user-level context-switch cost: the
+// original GNU Pth switched in ~2us, which would defeat the mechanism;
+// the paper's optimized library reaches 20-50ns (§IV-B).
+func (s Suite) AblationSwitchCost() *stats.Table {
+	t := &stats.Table{
+		ID:     "ablation-switch",
+		Title:  "Context-switch cost sensitivity (1us device, prefetch, 10 threads)",
+		XLabel: "context switch cost (ns)",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	series := t.AddSeries("1us 10t")
+	for _, ctx := range []sim.Time{20 * sim.Nanosecond, 30 * sim.Nanosecond, 50 * sim.Nanosecond,
+		100 * sim.Nanosecond, 200 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond} {
+		cfg := s.Base
+		cfg.CtxSwitch = ctx
+		base := core.RunDRAMBaseline(cfg, wl)
+		r := core.RunPrefetch(cfg, wl, 10, false)
+		series.Add(ctx.Nanoseconds(), r.NormalizedTo(base.Measurement))
+	}
+	t.Note("the unoptimized 2us Pth switch forfeits nearly all the benefit; 20-50ns preserves it (§IV-B)")
+	return t
+}
+
+// AblationSWQOpts removes the two software-queue optimizations the
+// paper calls strictly necessary (§III-A): the doorbell-request flag
+// (without it every submission pays the MMIO doorbell) and burst
+// descriptor reads (without them the fetcher reads one descriptor per
+// DMA round trip).
+func (s Suite) AblationSWQOpts() *stats.Table {
+	t := &stats.Table{
+		ID:     "ablation-swqopts",
+		Title:  "Software-queue interface optimizations (1us device, 16 threads)",
+		XLabel: "variant (1=full, 2=no doorbell flag, 3=no burst, 4=neither)",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	series := t.AddSeries("1us 16t")
+	variants := []struct {
+		label    string
+		noFlag   bool
+		burstOne bool
+	}{
+		{"full", false, false},
+		{"no-doorbell-flag", true, false},
+		{"no-burst", false, true},
+		{"neither", true, true},
+	}
+	for i, v := range variants {
+		cfg := s.Base
+		cfg.SWQAlwaysDoorbell = v.noFlag
+		if v.burstOne {
+			cfg.FetchBurst = 1
+		}
+		base := core.RunDRAMBaseline(cfg, wl)
+		r := core.RunSWQueue(cfg, wl, 16, false)
+		series.Add(float64(i+1), r.NormalizedTo(base.Measurement))
+		t.Note("variant %d (%s): %.3f", i+1, v.label, r.NormalizedTo(base.Measurement))
+	}
+	return t
+}
+
+// TableI renders the paper's Table I, the taxonomy of latency-hiding
+// mechanisms; it is documentation rather than measurement.
+func TableI() string {
+	return fmt.Sprint(
+		"TABLE I: Common hardware and software latency-hiding mechanisms\n",
+		"----------------------------------------------------------------\n",
+		"Paradigm       HW Mechanisms                 SW Mechanisms\n",
+		"Caching        On-chip caches,               OS page cache\n",
+		"               prefetch buffers\n",
+		"Bulk transfer  64-128B cache lines           Multi-KB transfers from\n",
+		"                                             disk and network\n",
+		"Overlapping    Super-scalar execution,       Kernel-mode context switch,\n",
+		"               out-of-order execution,       user-mode context switch\n",
+		"               branch speculation,\n",
+		"               prefetching,\n",
+		"               hardware multithreading\n")
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func TestAblationRuleDerivesCoefficient(t *testing.T) {
+	s := quickSuite()
+	tb := s.AblationRule()
+	perUs := tb.FindSeries("entries per microsecond")
+	if perUs == nil || len(perUs.Y) != 4 {
+		t.Fatalf("rule series malformed: %+v", tb.Series)
+	}
+	for i, y := range perUs.Y {
+		// The paper's coefficient: 10-20 in-flight accesses per
+		// microsecond of device latency (§V-B).
+		if y < 8 || y > 22 {
+			t.Errorf("at %.0fus: %.1f entries/us, outside the paper's 10-20 band", perUs.X[i], y)
+		}
+	}
+	// Required entries grow linearly with latency.
+	entries := tb.FindSeries("required entries")
+	if entries.YAt(8) < 1.8*entries.YAt(4) || entries.YAt(8) > 2.2*entries.YAt(4) {
+		t.Errorf("entries not ~linear in latency: %v", entries.Y)
+	}
+}
+
+func TestDevicePresetsValidate(t *testing.T) {
+	for _, cfg := range []platform.Config{
+		platform.FlashDevice(), platform.RDMADevice(), platform.XPointDevice(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+	if platform.FlashDevice().DeviceLatency != 25*sim.Microsecond {
+		t.Error("flash latency wrong")
+	}
+	// XPoint sits below the PCIe round trip, so its preset must be
+	// memory-attached.
+	xp := platform.XPointDevice()
+	if xp.DeviceLatency >= 2*platform.Default().PCIePropagation {
+		t.Skip("xpoint latency no longer below PCIe RTT")
+	}
+	if 2*xp.PCIePropagation > xp.DeviceLatency {
+		t.Errorf("xpoint preset cannot carry its own latency: RTT %v > %v",
+			2*xp.PCIePropagation, xp.DeviceLatency)
+	}
+}
+
+func TestExpDevicesShape(t *testing.T) {
+	s := quickSuite()
+	s.Iterations = 400
+	s.Threads = []int{1, 4, 8}
+	tb := s.ExpDevices()
+	xp := tb.FindSeries("xpoint-350ns")
+	rdma := tb.FindSeries("rdma-3us")
+	flash := tb.FindSeries("flash-25us")
+
+	// Concurrency demand orders with latency: at 8 threads XPoint is
+	// near parity, RDMA partial, flash barely started.
+	if xp.YAt(8) < 0.9 {
+		t.Errorf("xpoint at 8 threads = %.3f, want near parity", xp.YAt(8))
+	}
+	if !(xp.YAt(8) > rdma.YAt(8) && rdma.YAt(8) > flash.YAt(8)) {
+		t.Errorf("device ordering violated: %.3f %.3f %.3f", xp.YAt(8), rdma.YAt(8), flash.YAt(8))
+	}
+	// Every class eventually reaches parity with rule-sized queues.
+	for _, series := range tb.Series {
+		_, peak := series.Peak()
+		if peak < 0.9 {
+			t.Errorf("%s peak %.3f, want parity with rule-sized queues", series.Label, peak)
+		}
+	}
+}

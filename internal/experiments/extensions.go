@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ExpKernelQueue quantifies the paper's analytic dismissal of
+// kernel-managed software queues (§III-A: "these overheads dwarf the
+// access latency"): all four interfaces on the same 1 us device and
+// thread sweep.
+func (s Suite) ExpKernelQueue() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-kernelq",
+		Title:  "All four access interfaces at 1us (kernel queues quantified)",
+		XLabel: "threads",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	cfg := s.Base
+	base := core.RunDRAMBaseline(cfg, wl)
+	pf := t.AddSeries("prefetch")
+	sq := t.AddSeries("swqueue")
+	kq := t.AddSeries("kernelq")
+	for _, n := range s.Threads {
+		pf.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
+		sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+		kq.Add(float64(n), core.RunKernelQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+	}
+	_, kqPeak := kq.Peak()
+	t.Note("kernel-managed queues peak at %.3f: syscalls, 2us kernel switches and interrupts dwarf the 1us access (§III-A)", kqPeak)
+	return t
+}
+
+// ExpSMT measures hardware multithreading as the only latency-hiding
+// aid for on-demand accesses (§III-B): SMT widens the overlap by its
+// context count, which is a small factor against a microsecond.
+func (s Suite) ExpSMT() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-smt",
+		Title:  "SMT on-demand access vs context count",
+		XLabel: "hardware contexts",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
+		cfg := s.Base.WithLatency(lat)
+		base := core.RunDRAMBaseline(cfg, wl)
+		series := t.AddSeries(latLabel(lat))
+		for _, contexts := range []int{1, 2, 4, 8} {
+			c := cfg
+			c.SMTContexts = contexts
+			series.Add(float64(contexts), core.RunSMT(c, wl).NormalizedTo(base.Measurement))
+		}
+	}
+	t.Note("commodity SMT (2 contexts) roughly doubles on-demand throughput — far short of the 10+ in-flight accesses a microsecond needs (§III-B)")
+	return t
+}
+
+// ExpWrites exercises the write-path extension (§VII): posted writes on
+// the prefetch path ride the store buffer nearly for free, while every
+// software-queue write still pays the per-descriptor management cost.
+func (s Suite) ExpWrites() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-writes",
+		Title:  "Read/write mixes at 1us (writes are posted, §VII)",
+		XLabel: "threads",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	cfg := s.Base
+	for _, writes := range []int{0, 1, 4} {
+		wl := workload.NewMicrobenchRW(s.Iterations, workload.DefaultWorkCount, 1, writes)
+		base := core.RunDRAMBaseline(cfg, wl)
+		pf := t.AddSeries(fmt.Sprintf("prefetch +%dw", writes))
+		sq := t.AddSeries(fmt.Sprintf("swqueue +%dw", writes))
+		for _, n := range s.Threads {
+			pf.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+		}
+	}
+	t.Note("prefetch-path writes cost ~1ns each (store buffer absorbs them); SWQ writes pay the descriptor overhead, compounding its 50%% cap")
+	return t
+}
+
+// ExpMemBus runs the system the paper argues for (§V-B implications):
+// the device on the memory interconnect (DDR-class link, >=48-entry
+// shared queue) with rule-sized per-core queues — multicore prefetch
+// then hides microsecond latencies at every latency point.
+func (s Suite) ExpMemBus() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-membus",
+		Title:  "The paper's proposed system: memory-interconnect attach + sized queues",
+		XLabel: "cores",
+		YLabel: "normalized work IPC (vs single-core DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	for _, lat := range latencies {
+		series := t.AddSeries(latLabel(lat) + " membus+rule")
+		stock := t.AddSeries(latLabel(lat) + " stock pcie")
+		base := core.RunDRAMBaseline(s.Base.WithLatency(lat), wl)
+		threads := 20 * int(lat/sim.Microsecond) // enough to cover the rule-sized LFBs
+		for _, cores := range []int{1, 2, 4, 8} {
+			cfg := s.Base.WithLatency(lat).WithCores(cores)
+			stock.Add(float64(cores), core.RunPrefetch(cfg, wl, threads, false).NormalizedTo(base.Measurement))
+
+			tuned := cfg.AsMemBus()
+			tuned.LFBPerCore = 20 * int(lat/sim.Microsecond) // the §V-B rule
+			tuned.ChipQueueMMIO = tuned.LFBPerCore * cores
+			series.Add(float64(cores), core.RunPrefetch(tuned, wl, threads, false).NormalizedTo(base.Measurement))
+		}
+	}
+	t.Note("with queues sized by 20 x latency(us) x cores and a memory-class link, every latency scales near-linearly with cores — \"successful usage of microsecond-level devices is not predicated on drastically new architectures\" (§VII)")
+	return t
+}
+
+// ExpTailLatency extends the paper's fixed-latency emulator with
+// heavy-tailed devices (flash reads behind erases): round-robin
+// prefetch scheduling head-of-line blocks on outliers, while the
+// software queue's completion-ordered FIFO scheduler absorbs them.
+func (s Suite) ExpTailLatency() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-tail",
+		Title:  "1% 10x latency tail at 1us (extension)",
+		XLabel: "threads",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	wl := s.ubench(1, workload.DefaultWorkCount)
+	variants := []struct {
+		label string
+		prob  float64
+	}{
+		{"fixed", 0},
+		{"1%-tail", 0.01},
+	}
+	for _, v := range variants {
+		cfg := s.Base
+		cfg.DeviceLatencyTailProb = v.prob
+		base := core.RunDRAMBaseline(cfg, wl)
+		pf := t.AddSeries("prefetch " + v.label)
+		sq := t.AddSeries("swqueue " + v.label)
+		for _, n := range s.Threads {
+			rp := core.RunPrefetch(cfg, wl, n, false)
+			pf.Add(float64(n), rp.NormalizedTo(base.Measurement))
+			sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			if v.prob > 0 && n == 10 {
+				t.Note("prefetch 10t with tail: access P50 %.0fns P99 %.0fns", rp.Diag.AccessP50Ns, rp.Diag.AccessP99Ns)
+			}
+		}
+	}
+	return t
+}
+
+// ExpPointerChase runs the workload the paper's introduction singles
+// out — "pointer-based serial dependence chains commonly found in
+// modern server workloads" — where a thread can never overlap its own
+// accesses. At a short work-count the out-of-order window would find
+// cross-iteration MLP in an independent-access loop, but a chain denies
+// it: the chase's DRAM baseline is itself latency-bound, so thread-level
+// parallelism (which the prefetch mechanism supplies) recovers *more*
+// than it does for independent accesses.
+func (s Suite) ExpPointerChase() *stats.Table {
+	const chaseWork = 50 // short enough that the window matters
+	t := &stats.Table{
+		ID:     "ext-ptrchase",
+		Title:  "Pointer chasing at 1us (work=50): dependence chains need threads",
+		XLabel: "threads",
+		YLabel: "normalized work IPC (vs own DRAM baseline)",
+	}
+	cfg := s.Base
+	chase := workload.NewPointerChase(4096, s.Iterations, chaseWork)
+	base := core.RunDRAMBaseline(cfg, chase)
+	indep := s.ubench(1, chaseWork)
+	indepBase := core.RunDRAMBaseline(cfg, indep)
+	od := core.RunOnDemandDevice(cfg, chase).NormalizedTo(base.Measurement)
+
+	pf := t.AddSeries("chase prefetch")
+	sq := t.AddSeries("chase swqueue")
+	ub := t.AddSeries("independent prefetch")
+	for _, n := range s.Threads {
+		chase.Reset()
+		pf.Add(float64(n), core.RunPrefetch(cfg, chase, n, true).NormalizedTo(base.Measurement))
+		chase.Reset()
+		sq.Add(float64(n), core.RunSWQueue(cfg, chase, n, true).NormalizedTo(base.Measurement))
+		ub.Add(float64(n), core.RunPrefetch(cfg, indep, n, false).NormalizedTo(indepBase.Measurement))
+	}
+	t.Note("chase DRAM baseline %.0fns/hop vs independent %.0fns/iter: the chain denies the window its MLP",
+		base.IterationTime()*1e9, indepBase.IterationTime()*1e9)
+	t.Note("on-demand device chasing runs at %.3f of DRAM; threading restores it", od)
+	return t
+}
+
+// ExpDevices runs the prefetch mechanism against the emerging-device
+// classes the paper's introduction motivates (§I): 3D XPoint-class NVM
+// (350 ns, memory-attached), RDMA-class remote memory (3 us), and
+// NVMe-class flash (25 us), with queues sized by the §V-B rule. The
+// thread sweep shows how much concurrency each device class demands.
+func (s Suite) ExpDevices() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-devices",
+		Title:  "Emerging device classes under prefetch + rule-sized queues",
+		XLabel: "threads",
+		YLabel: "normalized work IPC (vs single-thread DRAM)",
+	}
+	devices := []struct {
+		label string
+		cfg   platformConfigFn
+	}{
+		{"xpoint-350ns", platform.XPointDevice},
+		{"rdma-3us", platform.RDMADevice},
+		{"flash-25us", platform.FlashDevice},
+	}
+	threads := append(append([]int{}, s.Threads...), 24, 48, 96, 192, 384, 512)
+	for _, dev := range devices {
+		cfg := dev.cfg()
+		// Provision the hardware by the paper's rule so the device
+		// class, not today's queue sizes, sets the requirement.
+		us := cfg.DeviceLatency.Microseconds()
+		rule := int(20*us) + 1
+		if rule < cfg.LFBPerCore {
+			rule = cfg.LFBPerCore
+		}
+		cfg.LFBPerCore = rule
+		cfg.ChipQueueMMIO = rule
+		series := t.AddSeries(dev.label)
+		for _, n := range threads {
+			// Keep warm-up (one device latency) negligible at high
+			// thread counts by scaling the run length.
+			iters := s.Iterations
+			if min := n * 30; iters < min {
+				iters = min
+			}
+			wl := workload.NewMicrobench(iters, workload.DefaultWorkCount, 1)
+			base := core.RunDRAMBaseline(cfg, wl)
+			series.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
+		}
+		knee := series.SaturationX(0.9)
+		t.Note("%s reaches 90%% of its peak at ~%.0f threads", dev.label, knee)
+	}
+	return t
+}
+
+// platformConfigFn builds a device preset.
+type platformConfigFn func() platform.Config
+
+// ExpLocality enables the cacheable-MMIO advantage the paper describes
+// but never measures (§III-B: cacheable regions "can take advantage of
+// locality"; §V-C: software queues get no hardware caching or
+// coherence): Bloom filters of shrinking footprint under a 32 KB
+// per-core device cache. As the filter fits, prefetch-path accesses hit
+// on-chip and skip the device entirely; the software-queue path cannot
+// benefit at any footprint.
+func (s Suite) ExpLocality() *stats.Table {
+	t := &stats.Table{
+		ID:     "ext-locality",
+		Title:  "Cacheable MMIO under locality (Bloom lookups, 8 threads, 32KB cache)",
+		XLabel: "filter footprint (KB)",
+		YLabel: "normalized performance (vs own DRAM baseline)",
+	}
+	cfg := s.Base
+	cfg.DeviceCacheLines = 512 // 32 KB
+	pf := t.AddSeries("prefetch")
+	sq := t.AddSeries("swqueue")
+	hits := t.AddSeries("prefetch cache hit rate")
+	for _, bits := range []uint64{1 << 16, 1 << 19, 1 << 22} { // 8KB, 64KB, 512KB
+		kb := float64(bits / 8 / 1024)
+		bloom := workload.NewBloom(bits, 4, 512, s.AppLookups, workload.DefaultWorkCount)
+		base := core.RunDRAMBaseline(cfg, bloom)
+		r := core.RunPrefetch(cfg, bloom, 8, false)
+		pf.Add(kb, r.NormalizedTo(base.Measurement))
+		hits.Add(kb, r.Diag.CacheHitRate)
+		bloom.Reset()
+		sq.Add(kb, core.RunSWQueue(cfg, bloom, 8, false).NormalizedTo(base.Measurement))
+	}
+	t.Note("hardware caching is exclusive to the memory-mapped interface; SWQ response buffers see none (§V-C)")
+	return t
+}
+
+// Extensions runs every beyond-the-paper experiment.
+func (s Suite) Extensions() []*stats.Table {
+	return []*stats.Table{
+		s.ExpKernelQueue(), s.ExpSMT(), s.ExpWrites(), s.ExpMemBus(),
+		s.ExpTailLatency(), s.ExpPointerChase(), s.ExpDevices(), s.ExpLocality(),
+	}
+}

@@ -1,0 +1,191 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesPaperConstants(t *testing.T) {
+	c := Default()
+	if c.LFBPerCore != 10 {
+		t.Errorf("LFBPerCore = %d, paper says 10 (§V-B)", c.LFBPerCore)
+	}
+	if c.ChipQueueMMIO != 14 {
+		t.Errorf("ChipQueueMMIO = %d, paper says 14 (§V-B)", c.ChipQueueMMIO)
+	}
+	if c.FetchBurst != 8 {
+		t.Errorf("FetchBurst = %d, paper says 8 (§IV-A)", c.FetchBurst)
+	}
+	if c.PCIeHeaderBytes != 24 {
+		t.Errorf("PCIeHeaderBytes = %d, paper says 24 (§V-C)", c.PCIeHeaderBytes)
+	}
+	if c.CtxSwitch < 20*sim.Nanosecond || c.CtxSwitch > 50*sim.Nanosecond {
+		t.Errorf("CtxSwitch = %v, paper says 20-50ns (§IV-B)", c.CtxSwitch)
+	}
+	if got := 2 * c.PCIePropagation; got != 800*sim.Nanosecond {
+		t.Errorf("PCIe round trip = %v, paper says ~800ns (§IV-A)", got)
+	}
+	if c.DRAMMaxOutstanding < 48 {
+		t.Errorf("DRAMMaxOutstanding = %d, paper says at least 48 (§V-B)", c.DRAMMaxOutstanding)
+	}
+}
+
+func TestCycleAndWorkTime(t *testing.T) {
+	c := Default()
+	cyc := c.CycleTime()
+	// 2.3 GHz -> ~434.78 ps.
+	if cyc < 434*sim.Picosecond || cyc > 435*sim.Picosecond {
+		t.Errorf("cycle time %v, want ~434.8ps", cyc)
+	}
+	// 100 instructions at IPC 1.4 -> 71.43 cycles -> ~31.06 ns.
+	w := c.WorkTime(100)
+	if w < 30*sim.Nanosecond || w > 32*sim.Nanosecond {
+		t.Errorf("WorkTime(100) = %v, want ~31ns", w)
+	}
+	if c.WorkTime(0) != 0 || c.WorkTime(-5) != 0 {
+		t.Error("WorkTime of non-positive count should be 0")
+	}
+	// Monotone in n.
+	if c.WorkTime(200) <= w {
+		t.Error("WorkTime not monotone")
+	}
+}
+
+func TestTLPTime(t *testing.T) {
+	c := Default()
+	// 64B payload + 24B header at 4 GB/s = 22 ns.
+	got := c.TLPTime(64)
+	if got != 22*sim.Nanosecond {
+		t.Errorf("TLPTime(64) = %v, want 22ns", got)
+	}
+	// Header-only packet: 6 ns.
+	if got := c.TLPTime(0); got != 6*sim.Nanosecond {
+		t.Errorf("TLPTime(0) = %v, want 6ns", got)
+	}
+}
+
+func TestPCIeHeaderOverheadMatchesPaper(t *testing.T) {
+	// "there is a 24-byte PCIe packet header added to each transaction,
+	// a 38% overhead" (§V-C) — 24/64 = 37.5%.
+	c := Default()
+	overhead := float64(c.PCIeHeaderBytes) / float64(CacheLineBytes)
+	if overhead < 0.37 || overhead > 0.38 {
+		t.Errorf("header overhead %.3f, want ~0.375", overhead)
+	}
+}
+
+func TestDeviceInternalDelay(t *testing.T) {
+	c := Default() // 1us device
+	d := c.DeviceInternalDelay()
+	rtt := 2*c.PCIePropagation + c.TLPTime(0) + c.TLPTime(CacheLineBytes)
+	if d+rtt != c.DeviceLatency {
+		t.Errorf("internal delay %v + rtt %v != configured %v", d, rtt, c.DeviceLatency)
+	}
+	// A device latency at exactly the RTT floor yields zero internal delay.
+	c2 := c.WithLatency(2 * c.PCIePropagation)
+	if got := c2.DeviceInternalDelay(); got != 0 {
+		t.Errorf("internal delay %v at RTT floor, want 0", got)
+	}
+}
+
+func TestAsMemBus(t *testing.T) {
+	c := Default()
+	m := c.AsMemBus()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("membus config invalid: %v", err)
+	}
+	if m.PCIeBandwidth <= c.PCIeBandwidth {
+		t.Error("membus link not faster")
+	}
+	if m.PCIePropagation >= c.PCIePropagation {
+		t.Error("membus link not lower latency")
+	}
+	if m.ChipQueueMMIO != c.DRAMMaxOutstanding {
+		t.Errorf("membus shared queue %d, want the DRAM-path depth %d", m.ChipQueueMMIO, c.DRAMMaxOutstanding)
+	}
+	if c.ChipQueueMMIO != 14 {
+		t.Error("AsMemBus mutated the receiver")
+	}
+}
+
+func TestInternalDelayFor(t *testing.T) {
+	c := Default()
+	if got := c.InternalDelayFor(c.DeviceLatency); got != c.DeviceInternalDelay() {
+		t.Errorf("InternalDelayFor(DeviceLatency) = %v, want %v", got, c.DeviceInternalDelay())
+	}
+	if got := c.InternalDelayFor(10 * c.DeviceLatency); got <= c.DeviceInternalDelay() {
+		t.Error("tail latency did not increase internal delay")
+	}
+	if got := c.InternalDelayFor(0); got != 0 {
+		t.Errorf("InternalDelayFor(0) = %v, want clamped to 0", got)
+	}
+}
+
+func TestWithLatencyAndWithCoresAreCopies(t *testing.T) {
+	c := Default()
+	c2 := c.WithLatency(4 * sim.Microsecond).WithCores(8)
+	if c.DeviceLatency != 1*sim.Microsecond || c.Cores != 1 {
+		t.Error("WithLatency/WithCores mutated the receiver")
+	}
+	if c2.DeviceLatency != 4*sim.Microsecond || c2.Cores != 8 {
+		t.Errorf("copy has latency %v cores %d", c2.DeviceLatency, c2.Cores)
+	}
+}
+
+func TestValidateCatchesEachBadField(t *testing.T) {
+	mutations := []struct {
+		name    string
+		mutate  func(*Config)
+		keyword string
+	}{
+		{"freq", func(c *Config) { c.CPUFreqGHz = 0 }, "frequency"},
+		{"width", func(c *Config) { c.IssueWidth = 0 }, "issue width"},
+		{"window", func(c *Config) { c.WindowSize = -1 }, "window"},
+		{"ipc-zero", func(c *Config) { c.WorkIPC = 0 }, "IPC"},
+		{"ipc-above-width", func(c *Config) { c.WorkIPC = 5 }, "IPC"},
+		{"lfb", func(c *Config) { c.LFBPerCore = 0 }, "LFB"},
+		{"cores", func(c *Config) { c.Cores = 0 }, "core count"},
+		{"dram", func(c *Config) { c.DRAMLatency = 0 }, "DRAM latency"},
+		{"dram-out", func(c *Config) { c.DRAMMaxOutstanding = 0 }, "DRAM outstanding"},
+		{"chipq", func(c *Config) { c.ChipQueueMMIO = 0 }, "MMIO queue"},
+		{"bw", func(c *Config) { c.PCIeBandwidth = 0 }, "bandwidth"},
+		{"hdr", func(c *Config) { c.PCIeHeaderBytes = -1 }, "header"},
+		{"prop", func(c *Config) { c.PCIePropagation = -1 }, "propagation"},
+		{"devlat", func(c *Config) { c.DeviceLatency = 0 }, "device latency"},
+		{"devlat-below-rtt", func(c *Config) { c.DeviceLatency = 100 * sim.Nanosecond }, "round trip"},
+		{"replay", func(c *Config) { c.ReplayWindow = 0 }, "replay window"},
+		{"burst", func(c *Config) { c.FetchBurst = 0 }, "fetch burst"},
+		{"ctx", func(c *Config) { c.CtxSwitch = -1 }, "context switch"},
+		{"desc", func(c *Config) { c.DescriptorBytes = 0 }, "descriptor"},
+		{"compl", func(c *Config) { c.CompletionBytes = 0 }, "completion"},
+		{"gap", func(c *Config) { c.DRAMIssueGap = -1 }, "issue gap"},
+		{"write-issue", func(c *Config) { c.WriteIssue = -1 }, "write issue"},
+		{"storebuf", func(c *Config) { c.StoreBufferEntries = 0 }, "store buffer"},
+		{"syscall", func(c *Config) { c.SyscallCost = -1 }, "syscall"},
+		{"kctx", func(c *Config) { c.KernelCtxSwitch = -1 }, "kernel context switch"},
+		{"irq", func(c *Config) { c.InterruptCost = -1 }, "interrupt"},
+		{"smt", func(c *Config) { c.SMTContexts = 0 }, "SMT contexts"},
+		{"tail-prob", func(c *Config) { c.DeviceLatencyTailProb = 1.5 }, "tail probability"},
+		{"tail-factor", func(c *Config) { c.DeviceLatencyTailProb = 0.1; c.DeviceLatencyTailFactor = 0.5 }, "tail factor"},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.keyword) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.keyword)
+		}
+	}
+}

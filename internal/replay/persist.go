@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Recording files carry the paper's record-run artifact: the exact
+// (address, data) sequence the DMA engine preloads into on-board DRAM
+// before a measured run (§IV-A). Persisting them reproduces the
+// workflow of recording once and replaying across many measured
+// configurations.
+//
+// Format (little-endian):
+//
+//	magic   [6]byte  "KUREC1"
+//	count   uint64
+//	entries count x { addr uint64, dataLen uint32, data [dataLen]byte }
+//
+// A dataLen of zero encodes a nil (zero-filled) line.
+var recMagic = [6]byte{'K', 'U', 'R', 'E', 'C', '1'}
+
+// WriteTo serializes the recording. It implements io.WriterTo.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(recMagic[:])); err != nil {
+		return n, err
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(r.Entries)))
+	if err := count(bw.Write(buf[:8])); err != nil {
+		return n, err
+	}
+	for _, e := range r.Entries {
+		if len(e.Data) != 0 && len(e.Data) != LineSize {
+			return n, fmt.Errorf("replay: entry with %d-byte line (want 0 or %d)", len(e.Data), LineSize)
+		}
+		binary.LittleEndian.PutUint64(buf[:8], e.Addr)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(len(e.Data)))
+		if err := count(bw.Write(buf[:])); err != nil {
+			return n, err
+		}
+		if err := count(bw.Write(e.Data)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadRecording deserializes a recording written by WriteTo.
+func ReadRecording(r io.Reader) (*Recording, error) {
+	br := bufio.NewReader(r)
+	var magic [6]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("replay: reading magic: %w", err)
+	}
+	if magic != recMagic {
+		return nil, fmt.Errorf("replay: bad magic %q", magic[:])
+	}
+	var buf [12]byte
+	if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		return nil, fmt.Errorf("replay: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(buf[:8])
+	const maxEntries = 1 << 32
+	if n > maxEntries {
+		return nil, fmt.Errorf("replay: implausible entry count %d", n)
+	}
+	rec := &Recording{Entries: make([]Entry, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("replay: reading entry %d: %w", i, err)
+		}
+		addr := binary.LittleEndian.Uint64(buf[:8])
+		dataLen := binary.LittleEndian.Uint32(buf[8:])
+		switch dataLen {
+		case 0:
+			rec.Entries = append(rec.Entries, Entry{Addr: addr})
+		case LineSize:
+			data := make([]byte, LineSize)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return nil, fmt.Errorf("replay: reading entry %d data: %w", i, err)
+			}
+			rec.Entries = append(rec.Entries, Entry{Addr: addr, Data: data})
+		default:
+			return nil, fmt.Errorf("replay: entry %d has %d-byte line (want 0 or %d)", i, dataLen, LineSize)
+		}
+	}
+	return rec, nil
+}

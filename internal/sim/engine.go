@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: events at the same time fire in scheduling order
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is not usable; create engines with NewEngine. An Engine
+// must be driven from a single goroutine (processes started with Go
+// synchronize with the engine in strict handoff, so user code never runs
+// concurrently with engine code).
+type Engine struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	executed uint64
+	procs    int // live processes, for leak detection
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far, a cheap proxy
+// for simulation effort.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a modeling bug, and silently clamping
+// would mask it.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single earliest pending event and reports whether
+// one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain, then returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, advances the
+// clock to deadline, and returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.executed
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.executed - start
+}
+
+// Pending returns the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs returns the number of processes started with Go that have
+// not yet returned. A non-zero value after Run indicates a process
+// blocked forever (a modeling bug analogous to a goroutine leak).
+func (e *Engine) LiveProcs() int { return e.procs }

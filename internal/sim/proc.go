@@ -1,0 +1,154 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: sequential code that can block on
+// simulated time (Sleep), one-shot events (Wait), and resources
+// (AcquireToken). Processes make it possible to express agents with
+// complex sequential behavior — a CPU core cycling through user-level
+// threads, or the device's request-fetcher state machine — as ordinary
+// straight-line Go code instead of hand-written callback state machines.
+//
+// Under the hood each Proc is a goroutine in strict handoff with the
+// engine: exactly one of {engine, some process} runs at any instant, so
+// execution is single-threaded and fully deterministic despite using
+// goroutines.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{} // engine -> proc: resume
+	park chan struct{} // proc -> engine: parked (or exited)
+	done bool
+}
+
+// Go starts fn as a simulated process at the current simulated time.
+// The name is used in diagnostics only.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	e.procs++
+	// The process body starts executing when this event fires; until its
+	// first blocking call it runs inline within the event.
+	e.At(e.now, func() {
+		go func() {
+			fn(p)
+			p.done = true
+			p.eng.procs--
+			p.park <- struct{}{}
+		}()
+		<-p.park // wait for first block (or exit)
+	})
+	return p
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Name returns the diagnostic name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// block parks the process until resume() is invoked from engine context.
+// Must only be called from within the process goroutine.
+func (p *Proc) block() {
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// resume returns a callback that, when executed as an engine event,
+// hands control to the parked process and waits for it to park again or
+// exit. It must be scheduled on the engine, never called from process
+// context.
+func (p *Proc) resume() func() {
+	return func() {
+		p.wake <- struct{}{}
+		<-p.park
+	}
+}
+
+// Sleep blocks the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s sleeping for negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.At(p.eng.now+d, p.resume())
+	p.block()
+}
+
+// SleepUntil blocks the process until absolute time t (a no-op if t is
+// not in the future).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Wait blocks the process until g fires. If g has already fired, Wait
+// returns immediately without yielding.
+func (p *Proc) Wait(g *Gate) {
+	if g.fired {
+		return
+	}
+	g.onFire(p.resume())
+	p.block()
+}
+
+// Gate is a one-shot event that processes and callbacks can wait on.
+// It is the simulated analogue of closing a channel: Fire releases all
+// current and future waiters. Typical uses are "this device response has
+// arrived" and "this thread's prefetched line is filled".
+type Gate struct {
+	eng     *Engine
+	fired   bool
+	firedAt Time
+	waiters []func()
+}
+
+// NewGate returns an unfired gate bound to the engine.
+func (e *Engine) NewGate() *Gate { return &Gate{eng: e} }
+
+// Fired reports whether the gate has fired.
+func (g *Gate) Fired() bool { return g.fired }
+
+// FiredAt returns the time the gate fired (zero if it has not).
+func (g *Gate) FiredAt() Time { return g.firedAt }
+
+// Fire releases all waiters at the current simulated time. Firing an
+// already-fired gate panics, as it indicates two agents both believe
+// they completed the same request.
+func (g *Gate) Fire() {
+	if g.fired {
+		panic("sim: gate fired twice")
+	}
+	g.fired = true
+	g.firedAt = g.eng.now
+	for _, fn := range g.waiters {
+		g.eng.At(g.eng.now, fn)
+	}
+	g.waiters = nil
+}
+
+// OnFire registers fn to run (as an engine event) when the gate fires,
+// or immediately-as-an-event if it already has.
+func (g *Gate) OnFire(fn func()) { g.onFire(fn) }
+
+func (g *Gate) onFire(fn func()) {
+	if g.fired {
+		g.eng.At(g.eng.now, fn)
+		return
+	}
+	g.waiters = append(g.waiters, fn)
+}

@@ -1,0 +1,252 @@
+// Package stats provides the result containers used by the experiment
+// harness: measurement summaries, (x, y) series, and tables that mirror
+// the layout of the paper's figures. Tables render as aligned text for
+// terminals and as CSV for plotting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Measurement summarizes one simulation run of a workload under one
+// mechanism: how much work retired in how much simulated time.
+type Measurement struct {
+	Label          string  // e.g. "prefetch lat=1us threads=10"
+	Iterations     int     // benchmark loop iterations measured
+	Accesses       int     // device/DRAM accesses performed
+	WorkInstr      float64 // work instructions retired
+	ElapsedSeconds float64 // simulated wall time
+}
+
+// WorkIPS returns work instructions retired per second of simulated
+// time; the paper's "work IPC" differs from it only by the constant
+// cycle time, which cancels in normalization.
+func (m Measurement) WorkIPS() float64 {
+	if m.ElapsedSeconds <= 0 {
+		return 0
+	}
+	return m.WorkInstr / m.ElapsedSeconds
+}
+
+// IterationTime returns the average seconds per benchmark iteration.
+func (m Measurement) IterationTime() float64 {
+	if m.Iterations == 0 {
+		return 0
+	}
+	return m.ElapsedSeconds / float64(m.Iterations)
+}
+
+// NormalizedTo returns the paper's "normalized work IPC": this
+// measurement's work throughput divided by the baseline's (§IV-C). For
+// application benchmarks both sides execute the same iteration count, so
+// this equals the paper's "normalized performance" (baseline execution
+// time over device execution time).
+func (m Measurement) NormalizedTo(baseline Measurement) float64 {
+	b := baseline.WorkIPS()
+	if b == 0 {
+		return math.NaN()
+	}
+	return m.WorkIPS() / b
+}
+
+// Series is one labeled curve in a figure: y-values sampled at x-values.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Peak returns the maximum y value and the x at which it occurs.
+// It returns NaNs for an empty series.
+func (s *Series) Peak() (x, y float64) {
+	if len(s.Y) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	x, y = s.X[0], s.Y[0]
+	for i := range s.Y {
+		if s.Y[i] > y {
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}
+
+// SaturationX returns the smallest x at which y reaches frac of the
+// series peak — the "knee" used to report where a curve saturates.
+func (s *Series) SaturationX(frac float64) float64 {
+	_, peak := s.Peak()
+	if math.IsNaN(peak) {
+		return math.NaN()
+	}
+	for i := range s.Y {
+		if s.Y[i] >= frac*peak {
+			return s.X[i]
+		}
+	}
+	return math.NaN()
+}
+
+// YAt returns the y value at the given x, or NaN if absent.
+func (s *Series) YAt(x float64) float64 {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Table is a figure-shaped result: multiple series over a shared x-axis
+// meaning (e.g. "threads per core") plus captions.
+type Table struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	Notes  []string // free-form observations recorded by the experiment
+}
+
+// AddSeries creates, registers, and returns a new series.
+func (t *Table) AddSeries(label string) *Series {
+	s := &Series{Label: label}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (t *Table) FindSeries(label string) *Series {
+	for _, s := range t.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// Note records a free-form observation that renders under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// xs returns the sorted union of all x values across series.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Text renders the table as aligned columns: one row per x value, one
+// column per series.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	xs := t.xs()
+
+	headers := make([]string, 0, len(t.Series)+1)
+	headers = append(headers, t.XLabel)
+	for _, s := range t.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := [][]string{headers}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", y))
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", t.YLabel)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs() {
+		b.WriteString(formatNum(x))
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			y := s.YAt(x)
+			if !math.IsNaN(y) {
+				fmt.Fprintf(&b, "%.6g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatNum(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e9 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

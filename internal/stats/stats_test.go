@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeasurementWorkIPS(t *testing.T) {
+	m := Measurement{WorkInstr: 1000, ElapsedSeconds: 2}
+	if got := m.WorkIPS(); got != 500 {
+		t.Errorf("WorkIPS = %v, want 500", got)
+	}
+	if got := (Measurement{}).WorkIPS(); got != 0 {
+		t.Errorf("zero measurement WorkIPS = %v, want 0", got)
+	}
+}
+
+func TestMeasurementIterationTime(t *testing.T) {
+	m := Measurement{Iterations: 4, ElapsedSeconds: 2}
+	if got := m.IterationTime(); got != 0.5 {
+		t.Errorf("IterationTime = %v, want 0.5", got)
+	}
+	if got := (Measurement{}).IterationTime(); got != 0 {
+		t.Errorf("zero measurement IterationTime = %v, want 0", got)
+	}
+}
+
+func TestNormalizedTo(t *testing.T) {
+	base := Measurement{WorkInstr: 100, ElapsedSeconds: 1}
+	fast := Measurement{WorkInstr: 100, ElapsedSeconds: 0.5}
+	if got := fast.NormalizedTo(base); got != 2 {
+		t.Errorf("normalized = %v, want 2", got)
+	}
+	if got := fast.NormalizedTo(Measurement{}); !math.IsNaN(got) {
+		t.Errorf("normalized to zero baseline = %v, want NaN", got)
+	}
+}
+
+// Property: normalization is the inverse ratio of iteration times when
+// work per iteration matches (the identity the paper's two normalized
+// metrics rely on, §IV-C).
+func TestNormalizationMatchesTimeRatio(t *testing.T) {
+	f := func(tDev, tBase uint16) bool {
+		if tDev == 0 || tBase == 0 {
+			return true
+		}
+		dev := Measurement{Iterations: 10, WorkInstr: 1000, ElapsedSeconds: float64(tDev)}
+		base := Measurement{Iterations: 10, WorkInstr: 1000, ElapsedSeconds: float64(tBase)}
+		got := dev.NormalizedTo(base)
+		want := base.IterationTime() / dev.IterationTime() * 1 // same work
+		return math.Abs(got-want) < 1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesPeakAndSaturation(t *testing.T) {
+	s := &Series{}
+	for i, y := range []float64{0.1, 0.4, 0.8, 1.0, 1.0, 1.0} {
+		s.Add(float64(i+1), y)
+	}
+	px, py := s.Peak()
+	if px != 4 || py != 1.0 {
+		t.Errorf("peak = (%v,%v), want (4,1)", px, py)
+	}
+	if got := s.SaturationX(0.95); got != 4 {
+		t.Errorf("saturation = %v, want 4", got)
+	}
+	if got := s.SaturationX(0.5); got != 3 {
+		t.Errorf("saturation(0.5) = %v, want 3", got)
+	}
+}
+
+func TestSeriesEmptyPeak(t *testing.T) {
+	s := &Series{}
+	if x, y := s.Peak(); !math.IsNaN(x) || !math.IsNaN(y) {
+		t.Errorf("empty peak = (%v,%v), want NaNs", x, y)
+	}
+	if got := s.SaturationX(0.9); !math.IsNaN(got) {
+		t.Errorf("empty saturation = %v, want NaN", got)
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := &Series{}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if got := s.YAt(2); got != 20 {
+		t.Errorf("YAt(2) = %v, want 20", got)
+	}
+	if got := s.YAt(3); !math.IsNaN(got) {
+		t.Errorf("YAt(3) = %v, want NaN", got)
+	}
+}
+
+func newSampleTable() *Table {
+	tb := &Table{ID: "fig3", Title: "Prefetch-based access", XLabel: "threads", YLabel: "normalized work IPC"}
+	a := tb.AddSeries("1us")
+	a.Add(1, 0.1)
+	a.Add(2, 0.2)
+	b := tb.AddSeries("4us")
+	b.Add(1, 0.05)
+	b.Add(4, 0.2) // different x-grid on purpose
+	return tb
+}
+
+func TestTableText(t *testing.T) {
+	txt := newSampleTable().Text()
+	for _, want := range []string{"FIG3", "threads", "1us", "4us", "0.100", "-", "normalized work IPC"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text() missing %q:\n%s", want, txt)
+		}
+	}
+	// x-union sorted: rows for x = 1, 2, 4.
+	lines := strings.Split(strings.TrimSpace(txt), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", txt)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	csv := newSampleTable().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "threads,1us,4us" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), csv)
+	}
+	if lines[1] != "1,0.1,0.05" {
+		t.Errorf("row1 = %q", lines[1])
+	}
+	// Missing points render as empty cells.
+	if lines[2] != "2,0.2," {
+		t.Errorf("row2 = %q", lines[2])
+	}
+	if lines[3] != "4,,0.2" {
+		t.Errorf("row3 = %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{ID: "x", XLabel: `a,b`}
+	s := tb.AddSeries(`quote"label`)
+	s.Add(1, 1)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b"`) || !strings.Contains(csv, `"quote""label"`) {
+		t.Errorf("escaping wrong: %q", csv)
+	}
+}
+
+func TestTableNotes(t *testing.T) {
+	tb := newSampleTable()
+	tb.Note("peak at %d threads", 10)
+	if len(tb.Notes) != 1 || tb.Notes[0] != "peak at 10 threads" {
+		t.Errorf("notes = %v", tb.Notes)
+	}
+	if !strings.Contains(tb.Text(), "note: peak at 10 threads") {
+		t.Error("Text() missing note")
+	}
+}
+
+func TestFindSeries(t *testing.T) {
+	tb := newSampleTable()
+	if tb.FindSeries("1us") == nil {
+		t.Error("FindSeries failed to find existing series")
+	}
+	if tb.FindSeries("nope") != nil {
+		t.Error("FindSeries found nonexistent series")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	if got := formatNum(4); got != "4" {
+		t.Errorf("formatNum(4) = %q", got)
+	}
+	if got := formatNum(2.5); got != "2.5" {
+		t.Errorf("formatNum(2.5) = %q", got)
+	}
+}

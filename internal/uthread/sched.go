@@ -1,0 +1,67 @@
+package uthread
+
+// RoundRobin cycles over a fixed set of threads in order, skipping
+// finished ones — the scheduling policy of the prefetch-based mechanism
+// ("the scheduler simply switches between threads in a round-robin
+// fashion", §IV-B).
+type RoundRobin struct {
+	threads []*Thread
+	next    int
+}
+
+// NewRoundRobin creates a scheduler over the given threads.
+func NewRoundRobin(threads []*Thread) *RoundRobin {
+	return &RoundRobin{threads: threads}
+}
+
+// Next returns the next unfinished thread in cyclic order, or nil when
+// every thread has finished.
+func (r *RoundRobin) Next() *Thread {
+	for range r.threads {
+		t := r.threads[r.next]
+		r.next = (r.next + 1) % len(r.threads)
+		if !t.Finished() {
+			return t
+		}
+	}
+	return nil
+}
+
+// Live returns the number of unfinished threads.
+func (r *RoundRobin) Live() int {
+	n := 0
+	for _, t := range r.threads {
+		if !t.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// FIFO is the ready queue of the software-managed-queue mechanism: "The
+// threads are managed in FIFO order, ensuring a deterministic access
+// sequence for replay" (§IV-B). Threads enter the queue when they become
+// runnable (at start, or when their batch of completions has arrived)
+// and leave when the executor runs them.
+type FIFO struct {
+	queue []*Thread
+}
+
+// NewFIFO returns an empty ready queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push appends a runnable thread.
+func (f *FIFO) Push(t *Thread) { f.queue = append(f.queue, t) }
+
+// Pop removes and returns the oldest runnable thread, or nil if empty.
+func (f *FIFO) Pop() *Thread {
+	if len(f.queue) == 0 {
+		return nil
+	}
+	t := f.queue[0]
+	f.queue = f.queue[:copy(f.queue, f.queue[1:])]
+	return t
+}
+
+// Len returns the number of runnable threads.
+func (f *FIFO) Len() int { return len(f.queue) }

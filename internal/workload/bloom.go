@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/replay"
+	"repro/internal/uthread"
+)
+
+// Bloom is the Bloom-filter benchmark of §IV-C: "a high-performance
+// implementation of lookups in a pre-populated dataset". The bit array
+// is the core data structure stored on the microsecond device; each
+// lookup probes KHash independent bit positions, and "the nature of the
+// applications permits batches of four reads" (§V-D) — the probes issue
+// as one batch before a single context switch.
+type Bloom struct {
+	// Bits is the filter size in bits (a multiple of 512, one line = 512
+	// bits).
+	Bits uint64
+	// KHash is the number of hash probes per lookup (4 in the paper's
+	// batching).
+	KHash int
+	// LookupsPerCore is the per-core lookup count, split across threads.
+	LookupsPerCore int
+	// WorkInstr is the benign work per lookup that replaces the
+	// application's post-access computation (§IV-C).
+	WorkInstr int
+
+	keys     int // populated keys
+	bitArray []byte
+
+	// observed results, accumulated by thread bodies (the simulation is
+	// single-threaded, so plain fields are race-free)
+	Positives int
+	Lookups   int
+}
+
+// NewBloom builds a filter with nKeys inserted and the given geometry.
+// All hashing is deterministic, so runs are reproducible.
+func NewBloom(bits uint64, kHash, nKeys, lookupsPerCore, workInstr int) *Bloom {
+	if bits%512 != 0 || bits == 0 {
+		panic(fmt.Sprintf("workload: bloom bits %d must be a positive multiple of 512", bits))
+	}
+	b := &Bloom{
+		Bits:           bits,
+		KHash:          kHash,
+		LookupsPerCore: lookupsPerCore,
+		WorkInstr:      workInstr,
+		keys:           nKeys,
+		bitArray:       make([]byte, bits/8),
+	}
+	for k := 0; k < nKeys; k++ {
+		for _, pos := range b.probePositions(presentKey(k)) {
+			b.bitArray[pos/8] |= 1 << (pos % 8)
+		}
+	}
+	return b
+}
+
+// presentKey and absentKey generate disjoint key universes: lookups of
+// presentKey(i<keys) must hit; absentKey lookups are true negatives
+// (modulo false positives).
+func presentKey(i int) uint64 { return uint64(i)*2 + 1 }
+func absentKey(i int) uint64  { return uint64(i)*2 + 2 }
+
+// probePositions returns the KHash bit positions of a key via double
+// hashing (the standard Kirsch-Mitzenmacher construction).
+func (b *Bloom) probePositions(key uint64) []uint64 {
+	h1 := splitmix64(key)
+	h2 := splitmix64(h1) | 1
+	pos := make([]uint64, b.KHash)
+	for i := range pos {
+		pos[i] = (h1 + uint64(i)*h2) % b.Bits
+	}
+	return pos
+}
+
+// splitmix64 is a small deterministic mixer (public-domain SplitMix64).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Name implements core.Workload.
+func (b *Bloom) Name() string { return fmt.Sprintf("bloom-k%d", b.KHash) }
+
+// Backing exposes the bit array in every core region.
+func (b *Bloom) Backing() replay.Backing { return mirrorBacking{data: b.bitArray} }
+
+// lookupKey returns the key probed by a core's i-th lookup: alternating
+// present and absent keys, spread deterministically.
+func (b *Bloom) lookupKey(i int) uint64 {
+	if i%2 == 0 {
+		return presentKey(int(splitmix64(uint64(i)) % uint64(b.keys)))
+	}
+	return absentKey(i)
+}
+
+// testBit checks a probe position against the fetched line.
+func testBit(line []byte, pos uint64) bool {
+	bit := pos % 512
+	return line[bit/8]&(1<<(bit%8)) != 0
+}
+
+// Body implements core.Workload: thread threadID performs the lookups
+// i ≡ threadID (mod threadsPerCore) of its core.
+func (b *Bloom) Body(coreID, threadID, threadsPerCore int) func(*uthread.API) {
+	base := coreRegion(coreID)
+	return func(a *uthread.API) {
+		addrs := make([]uint64, b.KHash)
+		for i := threadID; i < b.LookupsPerCore; i += threadsPerCore {
+			pos := b.probePositions(b.lookupKey(i))
+			for j, p := range pos {
+				addrs[j] = base + (p/512)*LineSize
+			}
+			lines := a.AccessBatch(addrs)
+			maybe := true
+			for j, p := range pos {
+				if !testBit(lines[j], p) {
+					maybe = false
+				}
+			}
+			if maybe {
+				b.Positives++
+			}
+			b.Lookups++
+			a.Work(b.WorkInstr)
+		}
+	}
+}
+
+// BaselineTrace implements core.Workload: one iteration per lookup with
+// KHash independent reads.
+func (b *Bloom) BaselineTrace(coreID int) []cpu.IterSpec {
+	return cpu.UniformTrace(b.LookupsPerCore, b.KHash, b.WorkInstr)
+}
+
+// Reset clears observed counters between runs.
+func (b *Bloom) Reset() { b.Positives, b.Lookups = 0, 0 }
+
+// ReferencePositives computes the expected positive count for one core's
+// lookup sequence directly against the bit array (ground truth for
+// tests).
+func (b *Bloom) ReferencePositives() int {
+	n := 0
+	for i := 0; i < b.LookupsPerCore; i++ {
+		maybe := true
+		for _, p := range b.probePositions(b.lookupKey(i)) {
+			if b.bitArray[p/8]&(1<<(p%8)) == 0 {
+				maybe = false
+			}
+		}
+		if maybe {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a CSR graph: RowStart[v]..RowStart[v+1] index into Adj.
+// RowStart (the small index) is a hot auxiliary structure that stays in
+// DRAM; Adj (the bulk adjacency array) is the core data structure stored
+// on the microsecond device.
+type Graph struct {
+	V        int
+	RowStart []int32
+	Adj      []uint32
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.RowStart[v+1] - g.RowStart[v])
+}
+
+// Edges returns the total directed edge count.
+func (g *Graph) Edges() int { return len(g.Adj) }
+
+// NewKronecker generates a Graph500-style Kronecker (R-MAT) graph:
+// 2^scale vertices, edgefactor*2^scale directed edges, recursively
+// placed with the Graph500 initiator probabilities A=0.57, B=0.19,
+// C=0.19 (D=0.05). Each edge is inserted in both directions, as the
+// Graph500 search kernel treats the graph as undirected. The generator
+// is fully seeded and deterministic.
+func NewKronecker(scale, edgefactor int, seed int64) *Graph {
+	if scale <= 0 || scale > 30 {
+		panic(fmt.Sprintf("workload: kronecker scale %d out of range", scale))
+	}
+	n := 1 << scale
+	m := edgefactor * n
+	rng := rand.New(rand.NewSource(seed))
+
+	const a, b, c = 0.57, 0.19, 0.19
+	type edge struct{ u, v uint32 }
+	edges := make([]edge, 0, 2*m)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // upper-left
+			case r < a+b: // upper-right
+				v |= 1 << bit
+			case r < a+b+c: // lower-left
+				u |= 1 << bit
+			default: // lower-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, edge{u, v}, edge{v, u})
+	}
+
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+
+	g := &Graph{
+		V:        n,
+		RowStart: make([]int32, n+1),
+		Adj:      make([]uint32, len(edges)),
+	}
+	for i, e := range edges {
+		g.Adj[i] = e.v
+		g.RowStart[e.u+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.RowStart[v+1] += g.RowStart[v]
+	}
+	return g
+}
+
+// adjBytes serializes the adjacency array for the device backing store:
+// 4 bytes per neighbor, so one cache line holds 16 neighbors.
+func (g *Graph) adjBytes() []byte {
+	out := make([]byte, 4*len(g.Adj))
+	for i, v := range g.Adj {
+		out[4*i] = byte(v)
+		out[4*i+1] = byte(v >> 8)
+		out[4*i+2] = byte(v >> 16)
+		out[4*i+3] = byte(v >> 24)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/replay"
+	"repro/internal/uthread"
+)
+
+// Memcached is the key-value-store benchmark of §IV-C: the lookup path
+// of an in-memory cache. Following the paper's methodology, only the
+// main data structure — the value storage — lives on the microsecond
+// device; the hash index is a hot auxiliary structure kept in DRAM
+// ("hot data structures ... are all placed in the main memory", §IV-C).
+// A hit retrieves a value spanning ValueLines cache lines: "value
+// retrieval can span multiple cache lines, resulting in independent
+// memory accesses that can overlap" (§V-B) — the batch-of-four of Fig 10.
+type Memcached struct {
+	// Items is the number of stored key-value pairs.
+	Items int
+	// ValueLines is the cache lines per value (4 in the paper's
+	// batching).
+	ValueLines int
+	// LookupsPerCore is the per-core lookup count, split across threads.
+	LookupsPerCore int
+	// WorkInstr is the benign work per lookup.
+	WorkInstr int
+
+	values []byte // the device-resident value arena
+
+	// observed results
+	Hits      int
+	BadValues int // value contents that failed verification
+	Lookups   int
+}
+
+// NewMemcached builds a store with deterministic contents: item k's
+// value is ValueLines lines, each line tagged with (k, lineIndex) so
+// reads are verifiable.
+func NewMemcached(items, valueLines, lookupsPerCore, workInstr int) *Memcached {
+	m := &Memcached{
+		Items:          items,
+		ValueLines:     valueLines,
+		LookupsPerCore: lookupsPerCore,
+		WorkInstr:      workInstr,
+		values:         make([]byte, items*valueLines*LineSize),
+	}
+	for k := 0; k < items; k++ {
+		for l := 0; l < valueLines; l++ {
+			off := (k*valueLines + l) * LineSize
+			binary.LittleEndian.PutUint64(m.values[off:], uint64(k))
+			binary.LittleEndian.PutUint64(m.values[off+8:], uint64(l))
+		}
+	}
+	return m
+}
+
+// Name implements core.Workload.
+func (m *Memcached) Name() string { return fmt.Sprintf("memcached-v%d", m.ValueLines) }
+
+// Backing exposes the value arena in every core region.
+func (m *Memcached) Backing() replay.Backing { return mirrorBacking{data: m.values} }
+
+// valueAddr returns the device address of item k's first value line in
+// a core's region — the hash-index lookup, performed in DRAM and
+// therefore free on the device path.
+func (m *Memcached) valueAddr(coreID, k int) uint64 {
+	return coreRegion(coreID) + uint64(k*m.ValueLines)*LineSize
+}
+
+// memcachedSeed decorrelates the lookup stream from other workloads'
+// use of the shared mixer.
+const memcachedSeed = 0xA5A5A5A5
+
+// lookupItem returns the item requested by a core's i-th lookup
+// (a deterministic scrambled sequence standing in for the client's key
+// stream).
+func (m *Memcached) lookupItem(i int) int {
+	return int(splitmix64(uint64(i)+memcachedSeed) % uint64(m.Items))
+}
+
+// Body implements core.Workload.
+func (m *Memcached) Body(coreID, threadID, threadsPerCore int) func(*uthread.API) {
+	return func(a *uthread.API) {
+		addrs := make([]uint64, m.ValueLines)
+		for i := threadID; i < m.LookupsPerCore; i += threadsPerCore {
+			k := m.lookupItem(i)
+			base := m.valueAddr(coreID, k)
+			for l := range addrs {
+				addrs[l] = base + uint64(l)*LineSize
+			}
+			lines := a.AccessBatch(addrs)
+			ok := true
+			for l, line := range lines {
+				if binary.LittleEndian.Uint64(line) != uint64(k) ||
+					binary.LittleEndian.Uint64(line[8:]) != uint64(l) {
+					ok = false
+				}
+			}
+			if ok {
+				m.Hits++
+			} else {
+				m.BadValues++
+			}
+			m.Lookups++
+			a.Work(m.WorkInstr)
+		}
+	}
+}
+
+// BaselineTrace implements core.Workload.
+func (m *Memcached) BaselineTrace(coreID int) []cpu.IterSpec {
+	return cpu.UniformTrace(m.LookupsPerCore, m.ValueLines, m.WorkInstr)
+}
+
+// Reset clears observed counters between runs.
+func (m *Memcached) Reset() { m.Hits, m.BadValues, m.Lookups = 0, 0, 0 }

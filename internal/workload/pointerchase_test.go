@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestPointerChaseCycleCoversAllNodes(t *testing.T) {
+	p := NewPointerChase(64, 10, 100)
+	// Follow the chain from node 0: a Sattolo cycle must return to the
+	// start after exactly Nodes hops, visiting every node once.
+	seen := map[uint64]bool{}
+	addr := uint64(0)
+	for i := 0; i < p.Nodes; i++ {
+		if seen[addr] {
+			t.Fatalf("revisited node %d after %d hops", addr/LineSize, i)
+		}
+		seen[addr] = true
+		addr = binary.LittleEndian.Uint64(p.arena[addr:])
+	}
+	if addr != 0 {
+		t.Errorf("chain did not close: at %#x after %d hops", addr, p.Nodes)
+	}
+	if len(seen) != p.Nodes {
+		t.Errorf("visited %d of %d nodes", len(seen), p.Nodes)
+	}
+}
+
+func TestPointerChaseBodyFollowsChain(t *testing.T) {
+	p := NewPointerChase(32, 20, 50)
+	acc, work := runFunctional(t, p.Body(0, 0, 1), p.Backing().(interface{ ReadLine(uint64) []byte }))
+	if acc != 20 || p.Hops != 20 {
+		t.Errorf("accesses=%d hops=%d, want 20", acc, p.Hops)
+	}
+	if work != 20*50 {
+		t.Errorf("work = %d", work)
+	}
+}
+
+func TestPointerChaseSplitsBudget(t *testing.T) {
+	p := NewPointerChase(32, 25, 0)
+	for tid := 0; tid < 4; tid++ {
+		runFunctional(t, p.Body(0, tid, 4), p.Backing().(interface{ ReadLine(uint64) []byte }))
+	}
+	if p.Hops != 25 {
+		t.Errorf("total hops %d, want per-core budget 25", p.Hops)
+	}
+}
+
+func TestPointerChaseBaselineDependent(t *testing.T) {
+	p := NewPointerChase(32, 10, 100)
+	trace := p.BaselineTrace(0)
+	if len(trace) != 10 {
+		t.Fatalf("trace len %d", len(trace))
+	}
+	for _, it := range trace {
+		if !it.Dependent || it.Reads != 1 {
+			t.Fatalf("iter %+v: chase must be 1-read dependent", it)
+		}
+	}
+}
+
+func TestPointerChaseTooFewNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-node chase did not panic")
+		}
+	}()
+	NewPointerChase(1, 1, 1)
+}
+
+func TestPointerChaseName(t *testing.T) {
+	if got := NewPointerChase(16, 1, 1).Name(); got != "ptrchase-n16" {
+		t.Errorf("name = %q", got)
+	}
+}
