@@ -3,6 +3,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,6 +23,11 @@ const (
 // PCIe Gen2 x8 link, configurable-latency device emulator). Every field
 // is documented with the paper passage that pins it down.
 type Config = platform.Config
+
+// FaultPlan configures deterministic fault injection (Config.Faults):
+// a seed plus per-layer fault probabilities. The zero value disables
+// injection entirely.
+type FaultPlan = fault.Plan
 
 // DefaultConfig returns the paper's testbed with a 1 us device.
 func DefaultConfig() Config { return platform.Default() }
@@ -69,33 +75,38 @@ func NewBFS(g *workload.Graph, sources []int, maxVisits, workInstr int) *workloa
 }
 
 // RunDRAMBaseline measures the single-threaded on-demand DRAM baseline
-// every result is normalized to (§IV-C).
-func RunDRAMBaseline(cfg Config, w Workload) Result { return core.RunDRAMBaseline(cfg, w) }
+// every result is normalized to (§IV-C). It returns an error for an
+// invalid configuration, as do all Run functions; under fault injection
+// a run that cannot complete (a core deadlocked past recovery) is also
+// reported as an error rather than a truncated measurement.
+func RunDRAMBaseline(cfg Config, w Workload) (Result, error) { return core.RunDRAMBaseline(cfg, w) }
 
 // RunOnDemandDevice measures unmodified software demand-loading the
 // microsecond device (Fig 2).
-func RunOnDemandDevice(cfg Config, w Workload) Result { return core.RunOnDemandDevice(cfg, w) }
+func RunOnDemandDevice(cfg Config, w Workload) (Result, error) {
+	return core.RunOnDemandDevice(cfg, w)
+}
 
 // RunPrefetch measures the prefetch + user-level-context-switch
 // mechanism (Listing 1).
-func RunPrefetch(cfg Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunPrefetch(cfg Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return core.RunPrefetch(cfg, w, threadsPerCore, useReplay)
 }
 
 // RunSWQueue measures the application-managed software-queue mechanism.
-func RunSWQueue(cfg Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunSWQueue(cfg Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return core.RunSWQueue(cfg, w, threadsPerCore, useReplay)
 }
 
 // RunKernelQueue measures kernel-managed software queues — the
 // interface the paper rules out analytically in §III-A, quantified.
-func RunKernelQueue(cfg Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunKernelQueue(cfg Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return core.RunKernelQueue(cfg, w, threadsPerCore, useReplay)
 }
 
 // RunSMT measures on-demand access with hardware multithreading
 // (§III-B): cfg.SMTContexts contexts hide each other's stalls.
-func RunSMT(cfg Config, w Workload) Result { return core.RunSMT(cfg, w) }
+func RunSMT(cfg Config, w Workload) (Result, error) { return core.RunSMT(cfg, w) }
 
 // NewMicrobenchRW returns the read/write microbenchmark of the §VII
 // write-path extension.

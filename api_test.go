@@ -12,14 +12,14 @@ import (
 func TestFacadeHeadlineResult(t *testing.T) {
 	cfg := repro.DefaultConfig()
 	ub := repro.NewMicrobench(1500, repro.DefaultWorkCount, 1)
-	base := repro.RunDRAMBaseline(cfg, ub)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
 
-	od := repro.RunOnDemandDevice(cfg, ub)
+	od := must(repro.RunOnDemandDevice(cfg, ub))
 	if n := od.NormalizedTo(base.Measurement); n > 0.15 {
 		t.Errorf("on-demand normalized %.3f, want the killer microsecond", n)
 	}
 
-	pf := repro.RunPrefetch(cfg, ub, 10, false)
+	pf := must(repro.RunPrefetch(cfg, ub, 10, false))
 	if n := pf.NormalizedTo(base.Measurement); n < 0.8 {
 		t.Errorf("10-thread prefetch normalized %.3f, want near DRAM", n)
 	}
@@ -31,11 +31,11 @@ func TestFacadeHeadlineResult(t *testing.T) {
 func TestFacadeMechanismOrdering(t *testing.T) {
 	cfg := repro.DefaultConfig()
 	ub := repro.NewMicrobench(800, repro.DefaultWorkCount, 1)
-	base := repro.RunDRAMBaseline(cfg, ub)
-	pf := repro.RunPrefetch(cfg, ub, 10, false).NormalizedTo(base.Measurement)
-	sq := repro.RunSWQueue(cfg, ub, 10, false).NormalizedTo(base.Measurement)
-	kq := repro.RunKernelQueue(cfg, ub, 10, false).NormalizedTo(base.Measurement)
-	smt := repro.RunSMT(cfg, ub).NormalizedTo(base.Measurement)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
+	pf := must(repro.RunPrefetch(cfg, ub, 10, false)).NormalizedTo(base.Measurement)
+	sq := must(repro.RunSWQueue(cfg, ub, 10, false)).NormalizedTo(base.Measurement)
+	kq := must(repro.RunKernelQueue(cfg, ub, 10, false)).NormalizedTo(base.Measurement)
+	smt := must(repro.RunSMT(cfg, ub)).NormalizedTo(base.Measurement)
 	if !(pf > sq && sq > smt && smt > kq) {
 		t.Errorf("ordering pf=%.3f > sq=%.3f > smt=%.3f > kq=%.3f violated", pf, sq, smt, kq)
 	}
@@ -45,7 +45,7 @@ func TestFacadeApplications(t *testing.T) {
 	cfg := repro.DefaultConfig()
 	g := repro.NewKronecker(7, 8, 1)
 	bfs := repro.NewBFS(g, []int{1, 2}, 16, repro.DefaultWorkCount)
-	r := repro.RunPrefetch(cfg, bfs, 2, true)
+	r := must(repro.RunPrefetch(cfg, bfs, 2, true))
 	if r.Diag.OnDemand != 0 {
 		t.Errorf("BFS replay misses: %d", r.Diag.OnDemand)
 	}
@@ -53,7 +53,7 @@ func TestFacadeApplications(t *testing.T) {
 	// Accesses counts the measured pass only (the recording pass keeps
 	// its own counters); the workload's own Lookups field doubles.
 	bloom := repro.NewBloom(1<<14, 4, 100, 80, repro.DefaultWorkCount)
-	if r := repro.RunSWQueue(cfg, bloom, 4, true); r.Accesses != 80*4 {
+	if r := must(repro.RunSWQueue(cfg, bloom, 4, true)); r.Accesses != 80*4 {
 		t.Errorf("bloom accesses = %d", r.Accesses)
 	}
 	if bloom.Lookups != 2*80 {
@@ -61,7 +61,7 @@ func TestFacadeApplications(t *testing.T) {
 	}
 
 	mc := repro.NewMemcached(64, 4, 80, repro.DefaultWorkCount)
-	if r := repro.RunSWQueue(cfg, mc, 4, false); r.Accesses != 80*4 {
+	if r := must(repro.RunSWQueue(cfg, mc, 4, false)); r.Accesses != 80*4 {
 		t.Errorf("memcached accesses = %d", r.Accesses)
 	}
 }
@@ -69,7 +69,7 @@ func TestFacadeApplications(t *testing.T) {
 func TestFacadeWritesAndConfigKnobs(t *testing.T) {
 	cfg := repro.DefaultConfig().WithLatency(2 * repro.Microsecond).WithCores(2)
 	rw := repro.NewMicrobenchRW(400, repro.DefaultWorkCount, 1, 2)
-	r := repro.RunPrefetch(cfg, rw, 4, false)
+	r := must(repro.RunPrefetch(cfg, rw, 4, false))
 	if r.Diag.Writes != 2*800 {
 		t.Errorf("writes = %d, want 1600 (2 cores)", r.Diag.Writes)
 	}
@@ -90,4 +90,12 @@ func TestFacadeSuites(t *testing.T) {
 	if tb.ID != "fig3" || len(tb.Series) != 3 {
 		t.Errorf("fig3 table malformed: %s with %d series", tb.ID, len(tb.Series))
 	}
+}
+
+// must unwraps a run result inside tests, where a run error is a bug.
+func must(r repro.Result, err error) repro.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

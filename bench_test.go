@@ -254,7 +254,7 @@ func BenchmarkRunPrefetch(b *testing.B) {
 	w := repro.NewMicrobench(500, repro.DefaultWorkCount, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		repro.RunPrefetch(cfg, w, 10, false)
+		must(repro.RunPrefetch(cfg, w, 10, false))
 	}
 }
 
@@ -263,7 +263,7 @@ func BenchmarkRunSWQueue(b *testing.B) {
 	w := repro.NewMicrobench(500, repro.DefaultWorkCount, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		repro.RunSWQueue(cfg, w, 10, false)
+		must(repro.RunSWQueue(cfg, w, 10, false))
 	}
 }
 
@@ -272,6 +272,6 @@ func BenchmarkRunDRAMBaseline(b *testing.B) {
 	w := repro.NewMicrobench(2000, repro.DefaultWorkCount, 1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		repro.RunDRAMBaseline(cfg, w)
+		must(repro.RunDRAMBaseline(cfg, w))
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 		fig     = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions")
 		all     = flag.Bool("all", false, "run every paper experiment (figures + ablations)")
 		ext     = flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
+		faults  = flag.Bool("faults", false, "run the fault-injection / recovery experiment family")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		quick   = flag.Bool("quick", false, "reduced sweep (faster, coarser)")
 		iters   = flag.Int("iters", 0, "override microbenchmark iterations per core")
@@ -43,12 +44,23 @@ func main() {
 	if *list {
 		fmt.Println("paper:      2 3 4 5 6 7 8 9 10 10a 10b 10c 10d")
 		fmt.Println("ablations:  lfb chipq rule switch swqopts")
-		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality")
+		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality faults")
 		return
 	}
 	if *table1 {
 		fmt.Print(experiments.TableI())
 		return
+	}
+
+	// Reject bad overrides up front: a sweep takes minutes to hours, so
+	// a typo must fail before any simulation starts.
+	if *iters < 0 {
+		fmt.Fprintf(os.Stderr, "killerusec: -iters %d must be positive\n", *iters)
+		os.Exit(1)
+	}
+	if *lookups < 0 {
+		fmt.Fprintf(os.Stderr, "killerusec: -lookups %d must be positive\n", *lookups)
+		os.Exit(1)
 	}
 
 	suite := experiments.Default()
@@ -74,6 +86,10 @@ func main() {
 		}
 		suite.Threads = sweep
 	}
+	if err := suite.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "killerusec:", err)
+		os.Exit(1)
+	}
 
 	var tables []*stats.Table
 	switch {
@@ -83,6 +99,8 @@ func main() {
 		tables = suite.All()
 	case *ext:
 		tables = suite.Extensions()
+	case *faults:
+		tables = suite.ExpFaults()
 	case *fig != "":
 		tables = runOne(suite, strings.ToLower(*fig))
 		if tables == nil {
@@ -181,6 +199,8 @@ func runOne(s experiments.Suite, id string) []*stats.Table {
 		return one(s.ExpDevices())
 	case "locality", "ext-locality":
 		return one(s.ExpLocality())
+	case "faults", "ext-faults":
+		return s.ExpFaults()
 	}
 	return nil
 }

@@ -80,6 +80,23 @@ func cmdRecord(args []string) error {
 		return err
 	}
 
+	// Validate before any simulation starts: a recording run can take
+	// minutes, so bad parameters must fail immediately.
+	if *cores < 1 {
+		return fmt.Errorf("-cores %d must be at least 1", *cores)
+	}
+	if *threads < 1 {
+		return fmt.Errorf("-threads %d must be at least 1", *threads)
+	}
+	if *lookups < 1 {
+		return fmt.Errorf("-lookups %d must be at least 1", *lookups)
+	}
+	switch *mech {
+	case "prefetch", "swqueue", "kernelq":
+	default:
+		return fmt.Errorf("unknown -mech %q (want prefetch, swqueue, or kernelq)", *mech)
+	}
+
 	w, err := pickWorkload(*wl, *lookups)
 	if err != nil {
 		return err

@@ -63,6 +63,19 @@ func TestVerifyTraceDetectsBrokenTrace(t *testing.T) {
 	}
 }
 
+func TestRecordRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cores", "0"},
+		{"-threads", "0"},
+		{"-lookups", "-5"},
+		{"-mech", "telepathy"},
+	} {
+		if err := cmdRecord(args); err == nil {
+			t.Errorf("cmdRecord(%v) accepted bad flags", args)
+		}
+	}
+}
+
 func TestRecordAccessTraceMechanisms(t *testing.T) {
 	w, _ := pickWorkload("ubench", 40)
 	cfg := platform.Default()

@@ -12,9 +12,9 @@ func Example() {
 	cfg := repro.DefaultConfig()
 	ub := repro.NewMicrobench(2000, repro.DefaultWorkCount, 1)
 
-	base := repro.RunDRAMBaseline(cfg, ub)
-	ondemand := repro.RunOnDemandDevice(cfg, ub)
-	prefetch := repro.RunPrefetch(cfg, ub, 10, false)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
+	ondemand := must(repro.RunOnDemandDevice(cfg, ub))
+	prefetch := must(repro.RunPrefetch(cfg, ub, 10, false))
 
 	fmt.Printf("on-demand: %.2f of DRAM\n", ondemand.NormalizedTo(base.Measurement))
 	fmt.Printf("prefetch:  %.2f of DRAM\n", prefetch.NormalizedTo(base.Measurement))
@@ -31,8 +31,8 @@ func ExampleConfig() {
 	cfg.ChipQueueMMIO = 1024
 
 	ub := repro.NewMicrobench(4000, repro.DefaultWorkCount, 1)
-	base := repro.RunDRAMBaseline(cfg, ub)
-	r := repro.RunPrefetch(cfg, ub, 100, false)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
+	r := must(repro.RunPrefetch(cfg, ub, 100, false))
 	fmt.Printf("4us device at %.1f of DRAM with rule-sized queues\n",
 		r.NormalizedTo(base.Measurement))
 	// Output:
@@ -46,7 +46,7 @@ func ExampleRunPrefetch() {
 	g := repro.NewKronecker(8, 8, 1)
 	bfs := repro.NewBFS(g, []int{1, 2}, 32, repro.DefaultWorkCount)
 
-	r := repro.RunPrefetch(repro.DefaultConfig(), bfs, 4, true)
+	r := must(repro.RunPrefetch(repro.DefaultConfig(), bfs, 4, true))
 	fmt.Printf("replay misses: %d\n", r.Diag.OnDemand)
 	fmt.Printf("traversals expanded the expected vertices: %v\n",
 		bfs.Visited == 2*bfs.ExpectedVisitsPerCore())
@@ -60,8 +60,8 @@ func ExampleRunPrefetch() {
 func ExampleRunSWQueue() {
 	cfg := repro.DefaultConfig()
 	ub := repro.NewMicrobench(2000, repro.DefaultWorkCount, 1)
-	base := repro.RunDRAMBaseline(cfg, ub)
-	r := repro.RunSWQueue(cfg, ub, 24, false)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
+	r := must(repro.RunSWQueue(cfg, ub, 24, false))
 	fmt.Printf("software queues peak near %.1f of DRAM\n", r.NormalizedTo(base.Measurement))
 	// Output:
 	// software queues peak near 0.5 of DRAM

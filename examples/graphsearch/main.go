@@ -29,15 +29,15 @@ func main() {
 	fmt.Println("(BFS batches at most 2 adjacency lines: inherent data dependencies, §V-D)")
 
 	cfg := repro.DefaultConfig() // 1us device
-	baseline := repro.RunDRAMBaseline(cfg, bfs)
+	baseline := must(repro.RunDRAMBaseline(cfg, bfs))
 	fmt.Printf("\nDRAM baseline: %.2f us total\n", baseline.ElapsedSeconds*1e6)
 
 	fmt.Println("\nsingle core, 1us device:")
 	for _, threads := range []int{1, 2, 4, 5, 8} {
 		bfs.Reset()
-		pf := repro.RunPrefetch(cfg, bfs, threads, true) // record + replay
+		pf := must(repro.RunPrefetch(cfg, bfs, threads, true)) // record + replay
 		bfs.Reset()
-		sq := repro.RunSWQueue(cfg, bfs, threads, true)
+		sq := must(repro.RunSWQueue(cfg, bfs, threads, true))
 		fmt.Printf("  %2d threads: prefetch %5.3f   swqueue %5.3f   (of DRAM)\n",
 			threads,
 			pf.NormalizedTo(baseline.Measurement),
@@ -47,7 +47,7 @@ func main() {
 	// Correctness through the full simulated stack: the traversal must
 	// expand exactly the vertices the functional pass expanded.
 	bfs.Reset()
-	r := repro.RunPrefetch(cfg, bfs, 4, true)
+	r := must(repro.RunPrefetch(cfg, bfs, 4, true))
 	expect := 2 * bfs.ExpectedVisitsPerCore() // record pass + measured pass
 	fmt.Printf("\nverification: expanded %d vertices across both passes (want %d), %d replay misses\n",
 		bfs.Visited, expect, r.Diag.OnDemand)
@@ -56,8 +56,16 @@ func main() {
 	cfg8 := cfg.WithCores(8)
 	for _, threads := range []int{4, 8, 16} {
 		bfs.Reset()
-		r := repro.RunSWQueue(cfg8, bfs, threads, true)
+		r := must(repro.RunSWQueue(cfg8, bfs, threads, true))
 		fmt.Printf("  %2d threads/core: %.2fx of the single-core DRAM baseline\n",
 			threads, r.NormalizedTo(baseline.Measurement))
 	}
+}
+
+// must unwraps a run result; the examples treat any failure as fatal.
+func must(r repro.Result, err error) repro.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -17,17 +17,17 @@ import (
 func main() {
 	cfg := repro.DefaultConfig() // 1us device
 	ub := repro.NewMicrobench(2500, repro.DefaultWorkCount, 1)
-	base := repro.RunDRAMBaseline(cfg, ub)
+	base := must(repro.RunDRAMBaseline(cfg, ub))
 	norm := func(r repro.Result) float64 { return r.NormalizedTo(base.Measurement) }
 
 	fmt.Println("One workload, every interface (1us device, normalized to DRAM):")
 	fmt.Println()
 
-	fmt.Printf("%-42s %6.3f\n", "on-demand loads (unmodified software)", norm(repro.RunOnDemandDevice(cfg, ub)))
-	fmt.Printf("%-42s %6.3f\n", "SMT, 2 hardware contexts (§III-B)", norm(repro.RunSMT(cfg, ub)))
-	fmt.Printf("%-42s %6.3f\n", "kernel-managed queues, 16 threads (§III-A)", norm(repro.RunKernelQueue(cfg, ub, 16, false)))
-	fmt.Printf("%-42s %6.3f\n", "application-managed queues, 16 threads", norm(repro.RunSWQueue(cfg, ub, 16, false)))
-	pf := repro.RunPrefetch(cfg, ub, 10, false)
+	fmt.Printf("%-42s %6.3f\n", "on-demand loads (unmodified software)", norm(must(repro.RunOnDemandDevice(cfg, ub))))
+	fmt.Printf("%-42s %6.3f\n", "SMT, 2 hardware contexts (§III-B)", norm(must(repro.RunSMT(cfg, ub))))
+	fmt.Printf("%-42s %6.3f\n", "kernel-managed queues, 16 threads (§III-A)", norm(must(repro.RunKernelQueue(cfg, ub, 16, false))))
+	fmt.Printf("%-42s %6.3f\n", "application-managed queues, 16 threads", norm(must(repro.RunSWQueue(cfg, ub, 16, false))))
+	pf := must(repro.RunPrefetch(cfg, ub, 10, false))
 	fmt.Printf("%-42s %6.3f\n", "prefetch + 30ns switches, 10 threads", norm(pf))
 
 	fmt.Println()
@@ -37,8 +37,8 @@ func main() {
 	// The write path (§VII): adding posted writes costs the prefetch
 	// mechanism almost nothing.
 	rw := repro.NewMicrobenchRW(2500, repro.DefaultWorkCount, 1, 2)
-	rwBase := repro.RunDRAMBaseline(cfg, rw)
-	r := repro.RunPrefetch(cfg, rw, 10, false)
+	rwBase := must(repro.RunDRAMBaseline(cfg, rw))
+	r := must(repro.RunPrefetch(cfg, rw, 10, false))
 	fmt.Printf("\nwith 2 posted writes per iteration: %.3f (%d writes drained through the store buffer)\n",
 		r.NormalizedTo(rwBase.Measurement), r.Diag.Writes)
 
@@ -46,9 +46,9 @@ func main() {
 	// head-of-line blocking — and the FIFO software queue's resilience.
 	tail := cfg
 	tail.DeviceLatencyTailProb = 0.01
-	tBase := repro.RunDRAMBaseline(tail, ub)
-	tp := repro.RunPrefetch(tail, ub, 10, false)
-	ts := repro.RunSWQueue(tail, ub, 16, false)
+	tBase := must(repro.RunDRAMBaseline(tail, ub))
+	tp := must(repro.RunPrefetch(tail, ub, 10, false))
+	ts := must(repro.RunSWQueue(tail, ub, 16, false))
 	fmt.Printf("\nwith a 1%% 10x latency tail:\n")
 	fmt.Printf("  prefetch 10t: %.3f (P99 %.0fns — the round-robin core waits out stragglers)\n",
 		tp.NormalizedTo(tBase.Measurement), tp.Diag.AccessP99Ns)
@@ -59,9 +59,17 @@ func main() {
 	fixed := cfg.AsMemBus().WithCores(8)
 	fixed.LFBPerCore = 20
 	fixed.ChipQueueMMIO = 160
-	fr := repro.RunPrefetch(fixed, ub, 20, false)
+	fr := must(repro.RunPrefetch(fixed, ub, 20, false))
 	fmt.Printf("\n8 cores on a memory-class interconnect with rule-sized queues: %.2fx single-core DRAM\n",
 		fr.NormalizedTo(base.Measurement))
 	fmt.Println("\"successful usage of microsecond-level devices is not predicated")
 	fmt.Println(" on drastically new hardware and software architectures\" (§VII)")
+}
+
+// must unwraps a run result; the examples treat any failure as fatal.
+func must(r repro.Result, err error) repro.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

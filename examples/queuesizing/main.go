@@ -28,8 +28,8 @@ func main() {
 		cfg := repro.DefaultConfig().WithLatency(4 * repro.Microsecond)
 		cfg.LFBPerCore = lfb
 		cfg.ChipQueueMMIO = 4096 // isolate the per-core limit
-		base := repro.RunDRAMBaseline(cfg, ubench)
-		r := repro.RunPrefetch(cfg, ubench, 100, false)
+		base := must(repro.RunDRAMBaseline(cfg, ubench))
+		r := must(repro.RunPrefetch(cfg, ubench, 100, false))
 		marker := ""
 		if lfb == 80 {
 			marker = "  <- paper's rule"
@@ -43,11 +43,11 @@ func main() {
 		cfg := repro.DefaultConfig().WithCores(8)
 		cfg.LFBPerCore = 20 // per-core rule for 1us
 		cfg.ChipQueueMMIO = q
-		base := repro.RunDRAMBaseline(cfg, ubench)
-		stock := repro.RunPrefetch(cfg, ubench, 12, false)
+		base := must(repro.RunDRAMBaseline(cfg, ubench))
+		stock := must(repro.RunPrefetch(cfg, ubench, 12, false))
 
 		cfg.PCIeBandwidth *= 4 // memory-interconnect-class link
-		fat := repro.RunPrefetch(cfg, ubench, 12, false)
+		fat := must(repro.RunPrefetch(cfg, ubench, 12, false))
 		fmt.Printf("  %3d entries: %5.2fx (PCIe Gen2 x8)   %5.2fx (4x link)\n",
 			q, stock.NormalizedTo(base.Measurement), fat.NormalizedTo(base.Measurement))
 	}
@@ -60,10 +60,18 @@ func main() {
 		500 * repro.Nanosecond, 2 * repro.Microsecond} {
 		cfg := repro.DefaultConfig()
 		cfg.CtxSwitch = ctx
-		base := repro.RunDRAMBaseline(cfg, ubench)
-		r := repro.RunPrefetch(cfg, ubench, 10, false)
+		base := must(repro.RunDRAMBaseline(cfg, ubench))
+		r := must(repro.RunPrefetch(cfg, ubench, 10, false))
 		fmt.Printf("  switch %7v: %5.3f of DRAM\n", ctx, r.NormalizedTo(base.Measurement))
 	}
 	fmt.Println("(the original GNU Pth switched in ~2us; the paper's optimized")
 	fmt.Println(" library reaches 20-50ns, §IV-B — the mechanism needs that)")
+}
+
+// must unwraps a run result; the examples treat any failure as fatal.
+func must(r repro.Result, err error) repro.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -20,19 +20,19 @@ func main() {
 
 	// Everything is normalized to the single-threaded on-demand DRAM
 	// baseline, exactly as in the paper (§IV-C).
-	baseline := repro.RunDRAMBaseline(cfg, ubench)
+	baseline := must(repro.RunDRAMBaseline(cfg, ubench))
 	fmt.Printf("DRAM baseline:      %6.1f ns/iteration\n",
 		baseline.IterationTime()*1e9)
 
 	// Unmodified software, on-demand loads from the 1us device: abysmal.
-	ondemand := repro.RunOnDemandDevice(cfg, ubench)
+	ondemand := must(repro.RunOnDemandDevice(cfg, ubench))
 	fmt.Printf("on-demand @ 1us:    %6.3f of DRAM  (the Killer Microsecond)\n",
 		ondemand.NormalizedTo(baseline.Measurement))
 
 	// Listing 1: prefetcht0 + user-level context switch, more threads.
 	fmt.Println("\nprefetch + 30ns user-level context switch:")
 	for _, threads := range []int{1, 2, 4, 8, 10, 12, 16} {
-		r := repro.RunPrefetch(cfg, ubench, threads, false)
+		r := must(repro.RunPrefetch(cfg, ubench, threads, false))
 		norm := r.NormalizedTo(baseline.Measurement)
 		fmt.Printf("  %2d threads: %5.3f of DRAM   (max %2d lines in flight)\n",
 			threads, norm, r.Diag.MaxLFB)
@@ -44,8 +44,16 @@ func main() {
 	cfg4 := cfg.WithLatency(4 * repro.Microsecond)
 	cfg4.LFBPerCore = 80 // the paper's rule: 20 x latency-in-us
 	cfg4.ChipQueueMMIO = 1024
-	base4 := repro.RunDRAMBaseline(cfg4, ubench)
-	r := repro.RunPrefetch(cfg4, ubench, 100, false)
+	base4 := must(repro.RunDRAMBaseline(cfg4, ubench))
+	r := must(repro.RunPrefetch(cfg4, ubench, 100, false))
 	fmt.Printf("  4us device, 80 LFBs, 100 threads: %.3f of DRAM\n",
 		r.NormalizedTo(base4.Measurement))
+}
+
+// must unwraps a run result; the examples treat any failure as fatal.
+func must(r repro.Result, err error) repro.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -17,7 +17,7 @@ import (
 func TestBloomUnderPrefetchWithReplay(t *testing.T) {
 	b := workload.NewBloom(1<<16, 4, 300, 400, workload.DefaultWorkCount)
 	cfg := platform.Default()
-	r := RunPrefetch(cfg, b, 3, true)
+	r := must(RunPrefetch(cfg, b, 3, true))
 	// Two passes ran (recording + measured): counters doubled.
 	if b.Lookups != 2*400 {
 		t.Fatalf("lookups = %d, want 800 over two passes", b.Lookups)
@@ -36,7 +36,7 @@ func TestBloomUnderPrefetchWithReplay(t *testing.T) {
 func TestMemcachedUnderSWQWithReplay(t *testing.T) {
 	m := workload.NewMemcached(128, 4, 300, workload.DefaultWorkCount)
 	cfg := platform.Default()
-	r := RunSWQueue(cfg, m, 4, true)
+	r := must(RunSWQueue(cfg, m, 4, true))
 	if m.Lookups != 2*300 || m.BadValues != 0 {
 		t.Fatalf("lookups=%d bad=%d, want 600 clean lookups", m.Lookups, m.BadValues)
 	}
@@ -52,7 +52,7 @@ func TestBFSUnderPrefetchWithReplay(t *testing.T) {
 	g := workload.NewKronecker(8, 8, 3)
 	b := workload.NewBFS(g, []int{1, 2, 3, 4}, 30, workload.DefaultWorkCount)
 	cfg := platform.Default()
-	r := RunPrefetch(cfg, b, 2, true)
+	r := must(RunPrefetch(cfg, b, 2, true))
 	if b.Visited != 2*b.ExpectedVisitsPerCore() {
 		t.Errorf("visited %d != 2x expected %d — device data corrupted the traversal",
 			b.Visited, b.ExpectedVisitsPerCore())
@@ -69,7 +69,7 @@ func TestBFSMulticoreReplay(t *testing.T) {
 	g := workload.NewKronecker(7, 8, 5)
 	b := workload.NewBFS(g, []int{1, 2}, 20, workload.DefaultWorkCount)
 	cfg := platform.Default().WithCores(2)
-	r := RunSWQueue(cfg, b, 2, true)
+	r := must(RunSWQueue(cfg, b, 2, true))
 	// 2 cores x 2 passes.
 	if b.Visited != 4*b.ExpectedVisitsPerCore() {
 		t.Errorf("visited %d != 4x expected %d", b.Visited, b.ExpectedVisitsPerCore())
@@ -86,11 +86,11 @@ func TestFig10AppTrends(t *testing.T) {
 	// baseline ... application-managed queues only reach 20% to 50%").
 	cfg := platform.Default()
 	m := workload.NewMemcached(128, 4, 600, workload.DefaultWorkCount)
-	base := RunDRAMBaseline(cfg, m)
+	base := must(RunDRAMBaseline(cfg, m))
 
 	// Prefetch at its LFB-limited peak (3 threads x 4 reads covers the
 	// 10 LFBs): the lower end of the paper's 35-65% band.
-	pf3 := RunPrefetch(cfg, m, 3, false)
+	pf3 := must(RunPrefetch(cfg, m, 3, false))
 	npf := pf3.NormalizedTo(base.Measurement)
 	if npf < 0.3 || npf > 0.7 {
 		t.Errorf("memcached prefetch peak normalized %.3f, want 0.35-0.65 band", npf)
@@ -98,14 +98,14 @@ func TestFig10AppTrends(t *testing.T) {
 
 	// SWQ at equal (low) threads trails prefetch: queue-management
 	// overhead with no compensating parallelism.
-	swq3 := RunSWQueue(cfg, m, 3, false)
+	swq3 := must(RunSWQueue(cfg, m, 3, false))
 	if n := swq3.NormalizedTo(base.Measurement); n >= npf {
 		t.Errorf("SWQ (%.3f) should trail prefetch (%.3f) at equal threads on one core", n, npf)
 	}
 
 	// Even saturated, single-core SWQ stays at/below the prefetch peak
 	// (paper: 20-50% vs 35-65%).
-	swq16 := RunSWQueue(cfg, m, 16, false)
+	swq16 := must(RunSWQueue(cfg, m, 16, false))
 	nswq := swq16.NormalizedTo(base.Measurement)
 	if nswq < 0.2 || nswq > 0.55 {
 		t.Errorf("saturated single-core SWQ normalized %.3f, want the paper's 20-50%% band", nswq)
@@ -125,7 +125,9 @@ func TestSpuriousRequestDuringReplayRun(t *testing.T) {
 	// Recording pass.
 	recEnv := newEnv(cfg, m.Backing())
 	recEnv.dev.EnableRecording(0)
-	launch(recEnv, m, 4, runPrefetchCore)
+	if _, err := launch(recEnv, m, 4, runPrefetchCore); err != nil {
+		t.Fatal(err)
+	}
 
 	// Measured pass with an injected spurious read at 5us.
 	e := newEnv(cfg, m.Backing())
@@ -136,7 +138,10 @@ func TestSpuriousRequestDuringReplayRun(t *testing.T) {
 		e.dev.MMIORead(0, 0xDEAD0000, func([]byte) {})
 	})
 	m.Reset()
-	c := launch(e, m, 4, runPrefetchCore)
+	c, err := launch(e, m, 4, runPrefetchCore)
+	if err != nil {
+		t.Fatal(err)
+	}
 	diag := e.diagnostics(c)
 
 	if diag.OnDemand != 1 {
@@ -156,7 +161,7 @@ func TestAppBaselineFindsMLP(t *testing.T) {
 	// dependent accesses would be.
 	cfg := platform.Default()
 	m := workload.NewMemcached(128, 4, 1000, workload.DefaultWorkCount)
-	base := RunDRAMBaseline(cfg, m)
+	base := must(RunDRAMBaseline(cfg, m))
 	perLookup := base.ElapsedSeconds / 1000 * 1e9
 	// 4 parallel DRAM reads + work ~= 83ns-145ns; 4 serial would be
 	// >380ns.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pcie"
 	"repro/internal/platform"
@@ -24,6 +25,11 @@ type env struct {
 	lfb      []*sim.TokenPool
 	storeBuf []*sim.TokenPool
 	caches   []*cache.Cache // per-core device-line caches; nil entries when disabled
+
+	// faults is nil unless the config enables injection; hosts take the
+	// recovery code paths only when it is non-nil, which keeps
+	// zero-rate runs bit-identical to fault-free ones.
+	faults *fault.Injector
 }
 
 func newEnv(cfg platform.Config, backing replay.Backing) *env {
@@ -39,6 +45,9 @@ func newEnv(cfg platform.Config, backing replay.Backing) *env {
 		dev:  device.New(eng, cfg, link, dram, backing),
 		lfb:  make([]*sim.TokenPool, cfg.Cores),
 	}
+	e.faults = fault.NewInjector(cfg.Faults)
+	link.SetFaultInjector(e.faults)
+	e.dev.SetFaultInjector(e.faults)
 	e.storeBuf = make([]*sim.TokenPool, cfg.Cores)
 	e.caches = make([]*cache.Cache, cfg.Cores)
 	for i := range e.lfb {
@@ -74,6 +83,11 @@ type counters struct {
 	// per-access host-observed latency samples (issue to data-usable),
 	// for the percentile diagnostics
 	latencies []sim.Time
+
+	// recovery accounting (fault-injection runs only)
+	retries   uint64 // accesses re-issued after a timeout
+	timeouts  uint64 // access timeouts that fired
+	abandoned uint64 // accesses given up after the retry budget
 
 	// software-queue path only
 	fetchBursts uint64
@@ -125,8 +139,17 @@ type Diagnostics struct {
 	// Host-observed per-access latency percentiles, in nanoseconds:
 	// from request issue/submission until the data is usable by the
 	// thread. Zero if no accesses were sampled.
-	AccessP50Ns float64
-	AccessP99Ns float64
+	AccessP50Ns  float64
+	AccessP99Ns  float64
+	AccessP999Ns float64
+
+	// Recovery accounting under fault injection: host-side retries,
+	// timeouts, and abandoned accesses, plus the faults the injector
+	// actually delivered, by layer. All zero in fault-free runs.
+	Retries   uint64
+	Timeouts  uint64
+	Abandoned uint64
+	Faults    fault.Counters
 
 	// Timeline holds the occupancy samples when Config.SamplePeriod is
 	// set.
@@ -169,6 +192,11 @@ func (e *env) diagnostics(c *counters) Diagnostics {
 	}
 	d.AccessP50Ns = percentileNs(c.latencies, 0.50)
 	d.AccessP99Ns = percentileNs(c.latencies, 0.99)
+	d.AccessP999Ns = percentileNs(c.latencies, 0.999)
+	d.Retries = c.retries
+	d.Timeouts = c.timeouts
+	d.Abandoned = c.abandoned
+	d.Faults = e.faults.Counters()
 	d.Timeline = c.samples
 	return d
 }

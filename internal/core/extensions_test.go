@@ -10,7 +10,7 @@ import (
 func TestKernelQueueOverheadDominates(t *testing.T) {
 	cfg := platform.Default()
 	w := ubench(300)
-	r := RunKernelQueue(cfg, w, 8, false)
+	r := must(RunKernelQueue(cfg, w, 8, false))
 	// Per access: 2 syscalls + doorbell + 2 kernel switches + interrupt
 	// >> 1us; iteration time must be in the several-microsecond range.
 	perIter := r.ElapsedSeconds / 300 * 1e9
@@ -31,12 +31,12 @@ func TestKernelQueueInterruptCoalescing(t *testing.T) {
 	// never approaches the user-level mechanisms).
 	cfg := platform.Default()
 	w := ubench(400)
-	one := RunKernelQueue(cfg, w, 1, false)
-	eight := RunKernelQueue(cfg, w, 8, false)
+	one := must(RunKernelQueue(cfg, w, 1, false))
+	eight := must(RunKernelQueue(cfg, w, 8, false))
 	if eight.WorkIPS() <= one.WorkIPS() {
 		t.Errorf("kernelq gained nothing from threads: %.3g -> %.3g", one.WorkIPS(), eight.WorkIPS())
 	}
-	pf := RunPrefetch(cfg, w, 8, false)
+	pf := must(RunPrefetch(cfg, w, 8, false))
 	if eight.WorkIPS() > pf.WorkIPS()/5 {
 		t.Errorf("kernelq (%.3g) implausibly close to prefetch (%.3g)", eight.WorkIPS(), pf.WorkIPS())
 	}
@@ -49,7 +49,7 @@ func TestSMTScalesWithContexts(t *testing.T) {
 	for _, contexts := range []int{1, 2, 4} {
 		c := cfg
 		c.SMTContexts = contexts
-		r := RunSMT(c, w)
+		r := must(RunSMT(c, w))
 		if r.WorkIPS() <= prev {
 			t.Errorf("SMT-%d (%.3g) not above SMT with fewer contexts (%.3g)", contexts, r.WorkIPS(), prev)
 		}
@@ -62,7 +62,7 @@ func TestPrefetchWritesDoNotYield(t *testing.T) {
 	// thread, switches stay zero even with writes present.
 	cfg := platform.Default()
 	wl := workload.NewMicrobenchRW(200, workload.DefaultWorkCount, 1, 4)
-	r := RunPrefetch(cfg, wl, 1, false)
+	r := must(RunPrefetch(cfg, wl, 1, false))
 	if r.Diag.Switches != 0 {
 		t.Errorf("switches = %d; posted writes must not yield", r.Diag.Switches)
 	}
@@ -75,8 +75,8 @@ func TestPrefetchWritesNearlyFree(t *testing.T) {
 	cfg := platform.Default()
 	ro := workload.NewMicrobench(1000, workload.DefaultWorkCount, 1)
 	rw := workload.NewMicrobenchRW(1000, workload.DefaultWorkCount, 1, 2)
-	a := RunPrefetch(cfg, ro, 10, false)
-	b := RunPrefetch(cfg, rw, 10, false)
+	a := must(RunPrefetch(cfg, ro, 10, false))
+	b := must(RunPrefetch(cfg, rw, 10, false))
 	if b.ElapsedSeconds > a.ElapsedSeconds*1.05 {
 		t.Errorf("2 posted writes/iter cost %.1f%%, want <5%%",
 			(b.ElapsedSeconds/a.ElapsedSeconds-1)*100)
@@ -91,8 +91,8 @@ func TestStoreBufferBackpressure(t *testing.T) {
 	cfg.PCIeBandwidth = 1e8 // 100 MB/s: 880ns per 64B TLP
 	ro := workload.NewMicrobench(200, workload.DefaultWorkCount, 1)
 	rw := workload.NewMicrobenchRW(200, workload.DefaultWorkCount, 1, 2)
-	a := RunPrefetch(cfg, ro, 4, false)
-	b := RunPrefetch(cfg, rw, 4, false)
+	a := must(RunPrefetch(cfg, ro, 4, false))
+	b := must(RunPrefetch(cfg, rw, 4, false))
 	if b.ElapsedSeconds < a.ElapsedSeconds*1.5 {
 		t.Errorf("no store-buffer backpressure: %.3g vs %.3g", a.ElapsedSeconds, b.ElapsedSeconds)
 	}
@@ -102,7 +102,7 @@ func TestSWQWriteCompletionsDiscarded(t *testing.T) {
 	// Write completions must not wake or corrupt reading threads.
 	cfg := platform.Default()
 	wl := workload.NewMicrobenchRW(300, workload.DefaultWorkCount, 2, 2)
-	r := RunSWQueue(cfg, wl, 6, false)
+	r := must(RunSWQueue(cfg, wl, 6, false))
 	if r.Accesses != 600 || r.Diag.Writes != 600 {
 		t.Errorf("accesses=%d writes=%d, want 600/600", r.Accesses, r.Diag.Writes)
 	}
@@ -115,7 +115,7 @@ func TestPointerChaseUnderMechanisms(t *testing.T) {
 	cfg := platform.Default()
 	const work = 50 // short enough that the window would find MLP
 	chase := workload.NewPointerChase(512, 400, work)
-	base := RunDRAMBaseline(cfg, chase)
+	base := must(RunDRAMBaseline(cfg, chase))
 	// Dependent chain: the DRAM baseline is latency-bound (~DRAM
 	// latency per hop) — markedly slower than the same loop with
 	// independent addresses, where the window overlaps iterations.
@@ -123,20 +123,20 @@ func TestPointerChaseUnderMechanisms(t *testing.T) {
 	if perHop < 75 {
 		t.Errorf("chase baseline %.0fns/hop; dependent loads should expose full DRAM latency", perHop)
 	}
-	indep := RunDRAMBaseline(cfg, workload.NewMicrobench(400, work, 1))
+	indep := must(RunDRAMBaseline(cfg, workload.NewMicrobench(400, work, 1)))
 	if base.ElapsedSeconds < indep.ElapsedSeconds*13/10 {
 		t.Errorf("chase baseline (%.3g) not clearly slower than independent (%.3g)",
 			base.ElapsedSeconds, indep.ElapsedSeconds)
 	}
 
 	chase.Reset()
-	od := RunOnDemandDevice(cfg, chase)
+	od := must(RunOnDemandDevice(cfg, chase))
 	if n := od.NormalizedTo(base.Measurement); n > 0.15 {
 		t.Errorf("on-demand chase normalized %.3f, want crushed", n)
 	}
 
 	chase.Reset()
-	pf := RunPrefetch(cfg, chase, 10, true)
+	pf := must(RunPrefetch(cfg, chase, 10, true))
 	if n := pf.NormalizedTo(base.Measurement); n < 0.6 {
 		t.Errorf("10-thread prefetch chase normalized %.3f, want restored (>0.6)", n)
 	}

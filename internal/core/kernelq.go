@@ -49,7 +49,16 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			gate := ep.CompletionGate()
 			compls := cq.Drain()
 			if len(compls) == 0 {
-				p.Wait(gate)
+				if e.faults == nil || len(waiting) == 0 {
+					p.Wait(gate)
+					continue
+				}
+				// Recovery backstop: the kernel arms a timer at the
+				// earliest descriptor deadline in case the completion
+				// interrupt never comes.
+				if !p.WaitTimeout(gate, minDeadline(waiting)-p.Now()) {
+					resubmitOverdue(p, e, rq, ep, waiting, states, ready, c)
+				}
 				continue
 			}
 			// Interrupt delivery + handler, then wake the syscall
@@ -62,6 +71,7 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 					continue
 				}
 				delete(waiting, compl.ID)
+				c.recordLatency(compl.Posted - w.submitted)
 				st := states[w.th]
 				st.data[w.slot] = ep.Data(compl.ID)
 				st.remaining--
@@ -105,8 +115,13 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			for i, addr := range req.Addrs {
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
-				id := rq.Push(addr, responseTarget(coreID, th.ID(), i), p.Now())
-				waiting[id] = descWait{th: th, slot: i, submitted: p.Now()}
+				target := responseTarget(coreID, th.ID(), i)
+				id := rq.Push(addr, target, p.Now())
+				waiting[id] = descWait{
+					th: th, slot: i, submitted: p.Now(),
+					addr: addr, target: target,
+					deadline: p.Now() + e.cfg.RetryTimeout(0),
+				}
 			}
 			p.Sleep(e.cfg.DoorbellMMIO)
 			rq.ClearDoorbellRequested()
@@ -123,7 +138,7 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 // the baseline the paper rules out in §III-A. Included to quantify that
 // dismissal: per-access syscalls, kernel context switches, and
 // completion interrupts dwarf a microsecond access.
-func RunKernelQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunKernelQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return runThreaded(cfg, w, "kernelq", threadsPerCore, useReplay, runKernelQCore)
 }
 
@@ -138,10 +153,9 @@ func RunKernelQueue(cfg platform.Config, w Workload, threadsPerCore int, useRepl
 // zero-cost request issue: a blocked context's load occupies an LFB and
 // a chip-queue slot exactly as a prefetch would, but only SMTContexts
 // accesses can ever be outstanding.
-func RunSMT(cfg platform.Config, w Workload) Result {
+func RunSMT(cfg platform.Config, w Workload) (Result, error) {
 	smt := cfg
 	smt.CtxSwitch = 0
 	smt.PrefetchIssue = 0
-	r := runThreaded(smt, w, "smt", cfg.SMTContexts, false, runPrefetchCore)
-	return r
+	return runThreaded(smt, w, "smt", cfg.SMTContexts, false, runPrefetchCore)
 }

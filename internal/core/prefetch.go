@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/uthread"
 )
@@ -118,17 +119,63 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				// The request proceeds to the device once a slot in the
 				// chip-level shared queue frees; the wait happens in the
 				// hardware queues, not on the core.
-				e.chip.OnAcquire(func() {
-					e.dev.MMIORead(coreID, addr, func(data []byte) {
-						pa.data[i] = data
+				if e.faults == nil {
+					e.chip.OnAcquire(func() {
+						e.dev.MMIORead(coreID, addr, func(data []byte) {
+							pa.data[i] = data
+							if cc := e.caches[coreID]; cc != nil {
+								cc.Insert(addr, data)
+							}
+							e.chip.Release()
+							lfb.Release()
+							g.Fire()
+						})
+					})
+					continue
+				}
+				// Fault-aware path: the in-flight line gets a timeout;
+				// on expiry the host re-issues the read (the LFB entry
+				// and chip-queue slot stay allocated across retries),
+				// backing off until the retry budget runs out, then
+				// abandons with a zero-filled line. finish is guarded
+				// because a duplicated or straggling response can race a
+				// retry's response — only the first delivery counts.
+				completed := false
+				finish := func(data []byte, genuine bool) {
+					if completed {
+						return
+					}
+					completed = true
+					pa.data[i] = data
+					if genuine {
 						if cc := e.caches[coreID]; cc != nil {
 							cc.Insert(addr, data)
 						}
-						e.chip.Release()
-						lfb.Release()
-						g.Fire()
+					}
+					e.chip.Release()
+					lfb.Release()
+					g.Fire()
+				}
+				var attempt func(n int)
+				attempt = func(n int) {
+					e.dev.MMIORead(coreID, addr, func(data []byte) {
+						finish(data, true)
 					})
-				})
+					e.eng.After(e.cfg.RetryTimeout(n), func() {
+						if completed {
+							return
+						}
+						c.timeouts++
+						if n >= e.cfg.MaxRetries {
+							c.abandoned++
+							finish(make([]byte, platform.CacheLineBytes), false)
+							return
+						}
+						c.retries++
+						attempt(n + 1)
+					})
+				}
+				e.chip.OnAcquire(func() { attempt(0) })
 			}
 			pending[th] = pa
 			// userctx_yield(): fall through to the scheduler.

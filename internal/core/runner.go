@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sim"
@@ -22,7 +23,10 @@ type Result struct {
 // every result is normalized to (§IV-C). Multicore experiments are also
 // normalized to this single-core baseline ("normalize all results to the
 // performance of a single-core DRAM baseline", §V-B).
-func RunDRAMBaseline(cfg platform.Config, w Workload) Result {
+func RunDRAMBaseline(cfg platform.Config, w Workload) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	trace := w.BaselineTrace(0)
 	r := cpu.DRAMBaseline(cfg, trace)
 	return Result{Measurement: stats.Measurement{
@@ -31,23 +35,39 @@ func RunDRAMBaseline(cfg platform.Config, w Workload) Result {
 		Accesses:       r.Accesses,
 		WorkInstr:      float64(r.WorkInstr),
 		ElapsedSeconds: r.Elapsed.Seconds(),
-	}}
+	}}, nil
 }
 
 // RunOnDemandDevice measures unmodified software demand-loading the
 // microsecond device through the cacheable MMIO mapping (Fig 2): the
 // interval core model with the device latency and the chip-level queue
-// bound.
-func RunOnDemandDevice(cfg platform.Config, w Workload) Result {
+// bound. With fault injection enabled each load's latency comes from
+// the analytic timeout/retry recovery model.
+func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	trace := w.BaselineTrace(0)
-	r := cpu.DeviceOnDemand(cfg, trace)
-	return Result{Measurement: stats.Measurement{
+	inj := fault.NewInjector(cfg.Faults)
+	r := cpu.DeviceOnDemandFaulty(cfg, trace, inj)
+	res := Result{Measurement: stats.Measurement{
 		Label:          fmt.Sprintf("ondemand/%s lat=%v", w.Name(), cfg.DeviceLatency),
 		Iterations:     len(trace),
 		Accesses:       r.Accesses,
 		WorkInstr:      float64(r.WorkInstr),
 		ElapsedSeconds: r.Elapsed.Seconds(),
+		Retries:        uint64(r.Retries),
+		Timeouts:       uint64(r.Timeouts),
+		Abandoned:      uint64(r.Abandoned),
 	}}
+	res.Diag.Retries = uint64(r.Retries)
+	res.Diag.Timeouts = uint64(r.Timeouts)
+	res.Diag.Abandoned = uint64(r.Abandoned)
+	res.Diag.Faults = inj.Counters()
+	res.Diag.AccessP50Ns = percentileNs(r.Latencies, 0.50)
+	res.Diag.AccessP99Ns = percentileNs(r.Latencies, 0.99)
+	res.Diag.AccessP999Ns = percentileNs(r.Latencies, 0.999)
+	return res, nil
 }
 
 // coreRunner is one mechanism's per-core executor.
@@ -61,39 +81,48 @@ type coreRunner func(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 // run serves it through the replay modules. Workloads whose control flow
 // depends on device data (the applications) should set it; the
 // microbenchmark's synthetic pattern does not need it.
-func RunPrefetch(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunPrefetch(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return runThreaded(cfg, w, "prefetch", threadsPerCore, useReplay, runPrefetchCore)
 }
 
 // RunSWQueue measures the application-managed software-queue mechanism.
-func RunSWQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) Result {
+func RunSWQueue(cfg platform.Config, w Workload, threadsPerCore int, useReplay bool) (Result, error) {
 	return runThreaded(cfg, w, "swqueue", threadsPerCore, useReplay, runSWQCore)
 }
 
-func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore int, useReplay bool, run coreRunner) Result {
+func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore int, useReplay bool, run coreRunner) (Result, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return Result{}, err
 	}
 	if threadsPerCore <= 0 {
-		panic(fmt.Sprintf("core: threadsPerCore %d must be positive", threadsPerCore))
+		return Result{}, fmt.Errorf("core: threadsPerCore %d must be positive", threadsPerCore)
 	}
 
 	e := newEnv(cfg, w.Backing())
 	if useReplay {
-		// Recording run: same execution, device in capture mode.
-		rec := newEnv(cfg, w.Backing())
+		// Recording run: same execution, device in capture mode. Faults
+		// are stripped so the captured trace stays clean — injection
+		// belongs to the measured run only.
+		recCfg := cfg
+		recCfg.Faults = fault.Plan{}
+		rec := newEnv(recCfg, w.Backing())
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			rec.dev.EnableRecording(coreID)
 		}
-		launch(rec, w, threadsPerCore, run)
+		if _, err := launch(rec, w, threadsPerCore, run); err != nil {
+			return Result{}, fmt.Errorf("core: recording run: %w", err)
+		}
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			if err := e.dev.LoadRecording(coreID, rec.dev.TakeRecording(coreID), 0); err != nil {
-				panic(err)
+				return Result{}, err
 			}
 		}
 	}
 
-	c := launch(e, w, threadsPerCore, run)
+	c, err := launch(e, w, threadsPerCore, run)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Measurement: stats.Measurement{
 			Label: fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
@@ -101,9 +130,12 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 			Accesses:       c.accesses,
 			WorkInstr:      float64(c.workInstr),
 			ElapsedSeconds: c.finish.Seconds(),
+			Retries:        c.retries,
+			Timeouts:       c.timeouts,
+			Abandoned:      c.abandoned,
 		},
 		Diag: e.diagnostics(c),
-	}
+	}, nil
 }
 
 // RecordAccessTrace performs a recording run (the first of the paper's
@@ -111,7 +143,8 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 // returns each core's captured (address, data) sequence. The recordings
 // can be persisted with replay.Recording.WriteTo and later loaded into
 // measured runs — the record-once, replay-many workflow of the paper's
-// platform. mech is "prefetch", "swqueue", or "kernelq".
+// platform. mech is "prefetch", "swqueue", or "kernelq". Fault plans are
+// ignored: recordings capture clean traces.
 func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech string) (map[int]*replay.Recording, error) {
 	var run coreRunner
 	switch mech {
@@ -130,11 +163,14 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 	if threadsPerCore <= 0 {
 		return nil, fmt.Errorf("core: threadsPerCore %d must be positive", threadsPerCore)
 	}
+	cfg.Faults = fault.Plan{}
 	e := newEnv(cfg, w.Backing())
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		e.dev.EnableRecording(coreID)
 	}
-	launch(e, w, threadsPerCore, run)
+	if _, err := launch(e, w, threadsPerCore, run); err != nil {
+		return nil, err
+	}
 	out := make(map[int]*replay.Recording, cfg.Cores)
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		out[coreID] = e.dev.TakeRecording(coreID)
@@ -144,8 +180,11 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 
 // launch starts one executor process per core, each driving its own set
 // of user-level threads, runs the simulation to completion, and returns
-// the accumulated counters.
-func launch(e *env, w Workload, threadsPerCore int, run coreRunner) *counters {
+// the accumulated counters. The watchdog in RunChecked turns a core
+// that deadlocks (e.g. waiting forever on a completion that a fault
+// swallowed and recovery failed to replace) into an error naming the
+// stuck process instead of a silently truncated measurement.
+func launch(e *env, w Workload, threadsPerCore int, run coreRunner) (*counters, error) {
 	c := &counters{liveCores: e.cfg.Cores}
 	e.startSampler(c)
 	for coreID := 0; coreID < e.cfg.Cores; coreID++ {
@@ -159,6 +198,8 @@ func launch(e *env, w Workload, threadsPerCore int, run coreRunner) *counters {
 			c.liveCores--
 		})
 	}
-	e.eng.Run()
-	return c
+	if _, err := e.eng.RunChecked(); err != nil {
+		return c, err
+	}
+	return c, nil
 }

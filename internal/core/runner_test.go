@@ -17,7 +17,7 @@ func ubench(iters int) Workload {
 
 func TestDRAMBaselineSanity(t *testing.T) {
 	cfg := platform.Default()
-	r := RunDRAMBaseline(cfg, ubench(testIters))
+	r := must(RunDRAMBaseline(cfg, ubench(testIters)))
 	iter := r.IterationTime() * 1e9
 	// Calibrated: ~83ns per iteration (work 62ns + exposed DRAM).
 	if iter < 70 || iter > 100 {
@@ -36,8 +36,8 @@ func TestOnDemandDeviceAbysmal(t *testing.T) {
 	// work counts.
 	cfg := platform.Default()
 	w := ubench(testIters)
-	base := RunDRAMBaseline(cfg, w)
-	dev := RunOnDemandDevice(cfg, w)
+	base := must(RunDRAMBaseline(cfg, w))
+	dev := must(RunOnDemandDevice(cfg, w))
 	norm := dev.NormalizedTo(base.Measurement)
 	if norm > 0.15 {
 		t.Errorf("on-demand normalized %.3f, want abysmal (<0.15)", norm)
@@ -49,10 +49,10 @@ func TestPrefetchSingleThreadVsTen(t *testing.T) {
 	// DRAM baseline around 10 threads.
 	cfg := platform.Default()
 	w := ubench(testIters)
-	base := RunDRAMBaseline(cfg, w)
+	base := must(RunDRAMBaseline(cfg, w))
 
-	one := RunPrefetch(cfg, w, 1, false)
-	ten := RunPrefetch(cfg, w, 10, false)
+	one := must(RunPrefetch(cfg, w, 1, false))
+	ten := must(RunPrefetch(cfg, w, 10, false))
 	n1 := one.NormalizedTo(base.Measurement)
 	n10 := ten.NormalizedTo(base.Measurement)
 	if n1 > 0.2 {
@@ -71,8 +71,8 @@ func TestPrefetchLFBCeiling(t *testing.T) {
 	// improve performance" — the 10-LFB limit.
 	cfg := platform.Default().WithLatency(4 * sim.Microsecond)
 	w := ubench(testIters)
-	ten := RunPrefetch(cfg, w, 10, false)
-	sixteen := RunPrefetch(cfg, w, 16, false)
+	ten := must(RunPrefetch(cfg, w, 10, false))
+	sixteen := must(RunPrefetch(cfg, w, 16, false))
 	gain := sixteen.WorkIPS() / ten.WorkIPS()
 	if gain > 1.05 {
 		t.Errorf("16 threads improved over 10 by %.2fx despite LFB limit", gain)
@@ -89,7 +89,7 @@ func TestPrefetchMulticoreChipQueueCeiling(t *testing.T) {
 	// Fig 5: cores aggregate until the 14-entry chip-level queue binds.
 	cfg := platform.Default().WithLatency(4 * sim.Microsecond).WithCores(4)
 	w := ubench(800)
-	r := RunPrefetch(cfg, w, 10, false)
+	r := must(RunPrefetch(cfg, w, 10, false))
 	if r.Diag.MaxChipQueue != 14 {
 		t.Errorf("max chip-queue occupancy %d, want 14 (§V-B)", r.Diag.MaxChipQueue)
 	}
@@ -100,7 +100,7 @@ func TestPrefetchMulticoreChipQueueCeiling(t *testing.T) {
 	// And the ceiling limits throughput: 8 cores do no better than ~14
 	// in-flight accesses allow.
 	cfg8 := cfg.WithCores(8)
-	r8 := RunPrefetch(cfg8, w, 10, false)
+	r8 := must(RunPrefetch(cfg8, w, 10, false))
 	maxRate := 14.0 / (4e-6) // Little's law: 14 in flight / 4us
 	rate := float64(r8.Accesses) / r8.ElapsedSeconds
 	if rate > maxRate*1.05 {
@@ -113,8 +113,8 @@ func TestPrefetchMLPConsumesLFBs(t *testing.T) {
 	// threads add nothing because 10 LFBs serve only ~2.5 batches.
 	cfg := platform.Default()
 	w4 := workload.NewMicrobench(testIters, workload.DefaultWorkCount, 4)
-	three := RunPrefetch(cfg, w4, 3, false)
-	eight := RunPrefetch(cfg, w4, 8, false)
+	three := must(RunPrefetch(cfg, w4, 3, false))
+	eight := must(RunPrefetch(cfg, w4, 8, false))
 	gain := eight.WorkIPS() / three.WorkIPS()
 	if gain > 1.10 {
 		t.Errorf("4-read: 8 threads over 3 threads = %.2fx, want flat (LFB-bound)", gain)
@@ -124,17 +124,17 @@ func TestPrefetchMLPConsumesLFBs(t *testing.T) {
 func TestSWQPeakAndScalingPastLFBLimit(t *testing.T) {
 	cfg := platform.Default().WithLatency(4 * sim.Microsecond)
 	w := ubench(testIters)
-	base := RunDRAMBaseline(cfg, w)
+	base := must(RunDRAMBaseline(cfg, w))
 
 	// Fig 7 at 4us: SWQ keeps gaining beyond 10 threads (no hardware
 	// queue limit) while prefetch is stuck at its LFB ceiling.
-	swq10 := RunSWQueue(cfg, w, 10, false)
-	swq24 := RunSWQueue(cfg, w, 24, false)
+	swq10 := must(RunSWQueue(cfg, w, 10, false))
+	swq24 := must(RunSWQueue(cfg, w, 24, false))
 	if swq24.WorkIPS() <= swq10.WorkIPS()*1.3 {
 		t.Errorf("SWQ did not scale past 10 threads: %.3g -> %.3g",
 			swq10.WorkIPS(), swq24.WorkIPS())
 	}
-	pf24 := RunPrefetch(cfg, w, 24, false)
+	pf24 := must(RunPrefetch(cfg, w, 24, false))
 	if swq24.WorkIPS() <= pf24.WorkIPS() {
 		t.Errorf("at 4us/24 threads SWQ (%.3g) should beat LFB-capped prefetch (%.3g)",
 			swq24.WorkIPS(), pf24.WorkIPS())
@@ -153,7 +153,7 @@ func TestSWQDoorbellsAreRare(t *testing.T) {
 	// accesses (§III-A).
 	cfg := platform.Default()
 	w := ubench(testIters)
-	r := RunSWQueue(cfg, w, 16, false)
+	r := must(RunSWQueue(cfg, w, 16, false))
 	if r.Accesses != testIters {
 		t.Fatalf("accesses = %d, want %d", r.Accesses, testIters)
 	}
@@ -165,14 +165,14 @@ func TestMulticoreSWQLinearThenBandwidth(t *testing.T) {
 	w := ubench(600)
 	cfg1 := platform.Default()
 	cfg4 := cfg1.WithCores(4)
-	r1 := RunSWQueue(cfg1, w, 24, false)
-	r4 := RunSWQueue(cfg4, w, 24, false)
+	r1 := must(RunSWQueue(cfg1, w, 24, false))
+	r4 := must(RunSWQueue(cfg4, w, 24, false))
 	scale := r4.WorkIPS() / r1.WorkIPS()
 	if scale < 3.0 {
 		t.Errorf("4-core SWQ scaling %.2fx, want near-linear (>3x)", scale)
 	}
 	cfg8 := cfg1.WithCores(8)
-	r8 := RunSWQueue(cfg8, w, 24, false)
+	r8 := must(RunSWQueue(cfg8, w, 24, false))
 	if r8.Diag.UpstreamUseful > 0.62 {
 		t.Errorf("upstream useful fraction %.2f, want ~0.5 from protocol overhead", r8.Diag.UpstreamUseful)
 	}
@@ -184,8 +184,8 @@ func TestReplayMethodologyMatchesBackingMode(t *testing.T) {
 	// performance effect.
 	cfg := platform.Default()
 	w := ubench(500)
-	direct := RunPrefetch(cfg, w, 8, false)
-	replayed := RunPrefetch(cfg, w, 8, true)
+	direct := must(RunPrefetch(cfg, w, 8, false))
+	replayed := must(RunPrefetch(cfg, w, 8, true))
 	if direct.ElapsedSeconds != replayed.ElapsedSeconds {
 		t.Errorf("replay changed timing: %.9g vs %.9g",
 			direct.ElapsedSeconds, replayed.ElapsedSeconds)
@@ -201,8 +201,8 @@ func TestReplayMethodologyMatchesBackingMode(t *testing.T) {
 func TestReplaySWQDeterministic(t *testing.T) {
 	cfg := platform.Default()
 	w := ubench(400)
-	direct := RunSWQueue(cfg, w, 6, false)
-	replayed := RunSWQueue(cfg, w, 6, true)
+	direct := must(RunSWQueue(cfg, w, 6, false))
+	replayed := must(RunSWQueue(cfg, w, 6, true))
 	if direct.ElapsedSeconds != replayed.ElapsedSeconds {
 		t.Errorf("SWQ replay changed timing: %.9g vs %.9g",
 			direct.ElapsedSeconds, replayed.ElapsedSeconds)
@@ -215,13 +215,13 @@ func TestReplaySWQDeterministic(t *testing.T) {
 func TestRunsAreDeterministic(t *testing.T) {
 	cfg := platform.Default().WithCores(2)
 	w := ubench(500)
-	a := RunPrefetch(cfg, w, 5, false)
-	b := RunPrefetch(cfg, w, 5, false)
+	a := must(RunPrefetch(cfg, w, 5, false))
+	b := must(RunPrefetch(cfg, w, 5, false))
 	if a.ElapsedSeconds != b.ElapsedSeconds || a.Accesses != b.Accesses {
 		t.Errorf("nondeterministic: %+v vs %+v", a.Measurement, b.Measurement)
 	}
-	s1 := RunSWQueue(cfg, w, 5, false)
-	s2 := RunSWQueue(cfg, w, 5, false)
+	s1 := must(RunSWQueue(cfg, w, 5, false))
+	s2 := must(RunSWQueue(cfg, w, 5, false))
 	if s1.ElapsedSeconds != s2.ElapsedSeconds {
 		t.Errorf("SWQ nondeterministic: %v vs %v", s1.ElapsedSeconds, s2.ElapsedSeconds)
 	}
@@ -232,8 +232,8 @@ func TestAllWorkRetired(t *testing.T) {
 	w := ubench(1000)
 	wantWork := float64(1000 * workload.DefaultWorkCount)
 	for _, r := range []Result{
-		RunPrefetch(cfg, w, 7, false),
-		RunSWQueue(cfg, w, 7, false),
+		must(RunPrefetch(cfg, w, 7, false)),
+		must(RunSWQueue(cfg, w, 7, false)),
 	} {
 		if r.WorkInstr != wantWork {
 			t.Errorf("%s retired %.0f work instr, want %.0f", r.Label, r.WorkInstr, wantWork)
@@ -250,9 +250,9 @@ func TestMoreThreadsThanIterations(t *testing.T) {
 	cfg := platform.Default()
 	w := ubench(5)
 	for _, r := range []Result{
-		RunPrefetch(cfg, w, 12, false),
-		RunSWQueue(cfg, w, 12, false),
-		RunKernelQueue(cfg, w, 12, false),
+		must(RunPrefetch(cfg, w, 12, false)),
+		must(RunSWQueue(cfg, w, 12, false)),
+		must(RunKernelQueue(cfg, w, 12, false)),
 	} {
 		if r.Accesses != 5 {
 			t.Errorf("%s: accesses = %d, want 5", r.Label, r.Accesses)
@@ -268,7 +268,7 @@ func TestInvalidConfigPanics(t *testing.T) {
 	}()
 	cfg := platform.Default()
 	cfg.LFBPerCore = 0
-	RunPrefetch(cfg, ubench(10), 1, false)
+	must(RunPrefetch(cfg, ubench(10), 1, false))
 }
 
 func TestZeroThreadsPanics(t *testing.T) {
@@ -277,5 +277,13 @@ func TestZeroThreadsPanics(t *testing.T) {
 			t.Error("zero threads did not panic")
 		}
 	}()
-	RunPrefetch(platform.Default(), ubench(10), 0, false)
+	must(RunPrefetch(platform.Default(), ubench(10), 0, false))
+}
+
+// must unwraps a run result inside tests, where a run error is a bug.
+func must(r Result, err error) Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sort"
+
+	"repro/internal/device"
 	"repro/internal/hostmem"
+	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/uthread"
 )
@@ -15,11 +19,86 @@ type swqThreadState struct {
 }
 
 // descWait maps an outstanding descriptor to the thread slot its data
-// belongs to.
+// belongs to. The addr/target/attempts/deadline fields drive timeout
+// recovery under fault injection: an overdue descriptor is resubmitted
+// under a fresh ID (so a straggling completion of the old one is simply
+// discarded as unknown) until the retry budget runs out.
 type descWait struct {
 	th        *uthread.Thread
 	slot      int
-	submitted sim.Time
+	submitted sim.Time // original submission, for latency accounting
+	addr      uint64
+	target    uint64
+	attempts  int
+	deadline  sim.Time
+}
+
+// minDeadline returns the earliest recovery deadline among outstanding
+// descriptors (order-independent, so map iteration is safe).
+func minDeadline(waiting map[uint64]descWait) sim.Time {
+	var min sim.Time
+	first := true
+	for _, w := range waiting {
+		if first || w.deadline < min {
+			min = w.deadline
+			first = false
+		}
+	}
+	return min
+}
+
+// resubmitOverdue performs timeout recovery for every outstanding
+// descriptor whose deadline has passed: within the retry budget the
+// descriptor is re-pushed under a fresh ID with a backed-off deadline
+// (the rewrite cost is charged to the core); past it the access is
+// abandoned and its slot filled with a zero line so the thread still
+// completes. If anything was resubmitted the doorbell is rung
+// unconditionally — the fetcher may be parked on a doorbell that a
+// fault swallowed. Descriptor IDs are scanned in sorted order to keep
+// the run deterministic.
+func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
+	waiting map[uint64]descWait, states map[*uthread.Thread]*swqThreadState,
+	ready *uthread.FIFO, c *counters) {
+	ids := make([]uint64, 0, len(waiting))
+	for id := range waiting {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	resubmitted := false
+	for _, id := range ids {
+		w := waiting[id]
+		if w.deadline > p.Now() {
+			continue
+		}
+		delete(waiting, id)
+		c.timeouts++
+		if w.attempts >= e.cfg.MaxRetries {
+			// Out of budget: abandon with a zero-filled line.
+			c.abandoned++
+			c.recordLatency(p.Now() - w.submitted)
+			st := states[w.th]
+			st.data[w.slot] = make([]byte, platform.CacheLineBytes)
+			st.remaining--
+			if st.remaining == 0 {
+				st.payload = st.data
+				ready.Push(w.th)
+			}
+			continue
+		}
+		c.retries++
+		p.Sleep(e.cfg.SWQPerAccessOverhead)
+		w.attempts++
+		w.deadline = p.Now() + e.cfg.RetryTimeout(w.attempts)
+		newID := rq.Push(w.addr, w.target, p.Now())
+		waiting[newID] = w
+		resubmitted = true
+	}
+	if resubmitted {
+		p.Sleep(e.cfg.DoorbellMMIO)
+		rq.ClearDoorbellRequested()
+		ep.Doorbell()
+	}
 }
 
 // runSWQCore executes one core under the application-managed
@@ -61,7 +140,16 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			p.Sleep(e.cfg.CompletionPoll)
 			compls := cq.Drain()
 			if len(compls) == 0 {
-				p.Wait(gate)
+				if e.faults == nil || len(waiting) == 0 {
+					p.Wait(gate)
+					continue
+				}
+				// Recovery backstop: wake at the earliest descriptor
+				// deadline even if no completion ever arrives (lost
+				// completion or swallowed doorbell).
+				if !p.WaitTimeout(gate, minDeadline(waiting)-p.Now()) {
+					resubmitOverdue(p, e, rq, ep, waiting, states, ready, c)
+				}
 				continue
 			}
 			for _, compl := range compls {
@@ -138,8 +226,13 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			for i, addr := range req.Addrs {
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
-				id := rq.Push(addr, responseTarget(coreID, th.ID(), i), p.Now())
-				waiting[id] = descWait{th: th, slot: i, submitted: p.Now()}
+				target := responseTarget(coreID, th.ID(), i)
+				id := rq.Push(addr, target, p.Now())
+				waiting[id] = descWait{
+					th: th, slot: i, submitted: p.Now(),
+					addr: addr, target: target,
+					deadline: p.Now() + e.cfg.RetryTimeout(0),
+				}
 			}
 			// Ring the doorbell only if the device asked for it (or on
 			// every submission, in the ablated flagless variant).

@@ -12,7 +12,7 @@ func TestOccupancyTimeline(t *testing.T) {
 	cfg := platform.Default()
 	cfg.SamplePeriod = 200 * sim.Nanosecond
 	w := workload.NewMicrobench(1500, workload.DefaultWorkCount, 1)
-	r := RunPrefetch(cfg, w, 10, false)
+	r := must(RunPrefetch(cfg, w, 10, false))
 
 	if len(r.Diag.Timeline) < 10 {
 		t.Fatalf("timeline has %d samples", len(r.Diag.Timeline))
@@ -45,7 +45,7 @@ func TestOccupancyTimeline(t *testing.T) {
 
 func TestTimelineDisabledByDefault(t *testing.T) {
 	w := workload.NewMicrobench(200, workload.DefaultWorkCount, 1)
-	r := RunPrefetch(platform.Default(), w, 4, false)
+	r := must(RunPrefetch(platform.Default(), w, 4, false))
 	if len(r.Diag.Timeline) != 0 {
 		t.Errorf("timeline sampled %d points without being enabled", len(r.Diag.Timeline))
 	}
@@ -53,10 +53,10 @@ func TestTimelineDisabledByDefault(t *testing.T) {
 
 func TestTimelineDoesNotChangeTiming(t *testing.T) {
 	w := workload.NewMicrobench(800, workload.DefaultWorkCount, 1)
-	plain := RunPrefetch(platform.Default(), w, 8, false)
+	plain := must(RunPrefetch(platform.Default(), w, 8, false))
 	cfg := platform.Default()
 	cfg.SamplePeriod = 100 * sim.Nanosecond
-	sampled := RunPrefetch(cfg, w, 8, false)
+	sampled := must(RunPrefetch(cfg, w, 8, false))
 	if plain.ElapsedSeconds != sampled.ElapsedSeconds {
 		t.Errorf("sampling changed timing: %.9g vs %.9g", plain.ElapsedSeconds, sampled.ElapsedSeconds)
 	}

@@ -21,6 +21,7 @@ package cpu
 import (
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -56,6 +57,12 @@ type OnDemandResult struct {
 	Elapsed   sim.Time
 	Accesses  int
 	WorkInstr int64
+
+	// Recovery accounting, populated only by fault-aware runs.
+	Retries   int        // re-issues after an access timeout
+	Timeouts  int        // timeouts that fired
+	Abandoned int        // accesses given up after the retry budget
+	Latencies []sim.Time // per-access observed latency incl. recovery
 }
 
 // iterRecord is the retirement bookkeeping for one completed iteration,
@@ -83,6 +90,14 @@ type iterRecord struct {
 // prior work has drained; the iteration's work then occupies the core
 // for WorkInstr/WorkIPC cycles.
 func RunOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOutstanding int, issueGap sim.Time) OnDemandResult {
+	return runOnDemand(cfg, trace, latency, maxOutstanding, issueGap, nil)
+}
+
+// runOnDemand is RunOnDemand with an optional per-load fault draw: when
+// draw is non-nil each load's latency (including any timeout/retry
+// recovery) comes from one draw, in issue order, so fault-aware runs
+// stay deterministic.
+func runOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOutstanding int, issueGap sim.Time, draw func() fault.AccessOutcome) OnDemandResult {
 	if maxOutstanding > cfg.LFBPerCore {
 		// A single core can never have more misses in flight than LFBs.
 		maxOutstanding = cfg.LFBPerCore
@@ -150,17 +165,35 @@ func RunOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOut
 		issue := maxTime(maxTime(windowReady, slotReady), lastIssue)
 		lastIssue = issue
 		// The batch's loads complete staggered by the memory's issue
-		// gap; the dependent work waits for the last of them.
-		complete := issue + latency + sim.Time(k-1)*issueGap
+		// gap; the dependent work waits for the last of them. Under
+		// fault injection each load's latency is its own recovery-
+		// inclusive draw instead of the uniform value.
+		loadDone := make([]sim.Time, k)
+		for i := 0; i < k; i++ {
+			lat := latency
+			if draw != nil {
+				out := draw()
+				lat = out.Latency
+				res.Retries += out.Retries
+				res.Timeouts += out.Timeouts
+				if out.Abandoned {
+					res.Abandoned++
+				}
+				res.Latencies = append(res.Latencies, out.Latency)
+			}
+			loadDone[i] = issue + lat + sim.Time(i)*issueGap
+		}
+		complete := loadDone[0]
+		for _, t := range loadDone[1:] {
+			complete = maxTime(complete, t)
+		}
 
 		workStart := maxTime(complete, prevWorkEnd)
 		workEnd := workStart + cfg.WorkTime(it.WorkInstr)
 
 		// Recycle the k slots used: each frees at its own completion.
 		copy(slots, slots[k:])
-		for i := 0; i < k; i++ {
-			slots[maxOutstanding-k+i] = issue + latency + sim.Time(i)*issueGap
-		}
+		copy(slots[maxOutstanding-k:], loadDone)
 		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 
 		records = append(records, iterRecord{
@@ -206,4 +239,22 @@ func DeviceOnDemand(cfg platform.Config, trace []IterSpec) OnDemandResult {
 	}
 	// The over-provisioned emulator pays no issue gap (§IV-A).
 	return RunOnDemand(cfg, trace, cfg.DeviceLatency, limit, 0)
+}
+
+// DeviceOnDemandFaulty is DeviceOnDemand under fault injection: each
+// load's latency comes from the injector's analytic timeout/retry
+// recovery model (device stragglers and drops, PCIe corruption and
+// stalls), with the platform's backed-off per-attempt timeouts.
+func DeviceOnDemandFaulty(cfg platform.Config, trace []IterSpec, inj *fault.Injector) OnDemandResult {
+	if inj == nil {
+		return DeviceOnDemand(cfg, trace)
+	}
+	limit := cfg.ChipQueueMMIO
+	if cfg.LFBPerCore < limit {
+		limit = cfg.LFBPerCore
+	}
+	draw := func() fault.AccessOutcome {
+		return inj.HostAccessLatency(cfg.DeviceLatency, cfg.PCIeReplayPenalty, cfg.RetryTimeout, cfg.MaxRetries)
+	}
+	return runOnDemand(cfg, trace, cfg.DeviceLatency, limit, 0, draw)
 }

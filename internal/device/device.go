@@ -23,6 +23,7 @@ package device
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pcie"
 	"repro/internal/platform"
@@ -61,6 +62,8 @@ type Device struct {
 	writesServed   uint64
 
 	reqCounter uint64 // per-request latency-tail draw (deterministic)
+
+	inj *fault.Injector
 }
 
 // New creates a device with no recordings loaded. backing is the
@@ -182,6 +185,11 @@ func (d *Device) effectiveLatency() sim.Time {
 	return d.cfg.DeviceLatency
 }
 
+// SetFaultInjector attaches a fault injector (nil disables injection).
+// Subsequent requests may straggle far beyond the latency-tail model,
+// lose their response entirely, or deliver it twice.
+func (d *Device) SetFaultInjector(in *fault.Injector) { d.inj = in }
+
 // WritesServed returns how many posted writes the device absorbed.
 func (d *Device) WritesServed() uint64 { return d.writesServed }
 
@@ -196,6 +204,9 @@ func (d *Device) WritesServed() uint64 { return d.writesServed }
 func (d *Device) MMIORead(coreID int, addr uint64, done func(data []byte)) {
 	issue := d.eng.Now()
 	latency := d.effectiveLatency()
+	if f, ok := d.inj.Straggle(); ok {
+		latency = sim.Time(float64(latency) * f)
+	}
 	// Read-request TLP travels downstream (header only).
 	d.link.SendDown(0, 0, func() {
 		data, fromReplay := d.serve(coreID, addr)
@@ -212,9 +223,20 @@ func (d *Device) MMIORead(coreID int, addr uint64, done func(data []byte)) {
 		if sendAt < d.eng.Now() {
 			sendAt = d.eng.Now()
 		}
-		d.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
-			done(data)
-		})
+		if d.inj.DropCompletion() {
+			// Response lost in the device; the host's timeout recovers.
+			return
+		}
+		respond := func() {
+			d.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
+				done(data)
+			})
+		}
+		respond()
+		if d.inj.Duplicate() {
+			// Spurious second response; the host must tolerate it.
+			respond()
+		}
 	})
 }
 

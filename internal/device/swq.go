@@ -50,6 +50,11 @@ func (d *Device) NewSWQEndpoint(coreID int, rq *hostmem.RequestQueue, cq *hostme
 // CPU cost of the uncached write is charged by the caller.
 func (e *SWQEndpoint) Doorbell() {
 	e.dev.link.SendDown(0, 0, func() {
+		if e.dev.inj.DropDoorbell() {
+			// Write lost at the device: the fetcher stays parked until the
+			// host's timeout re-rings.
+			return
+		}
 		e.doorbellHits++
 		if !e.doorbell.Fired() {
 			e.doorbell.Fire()
@@ -173,11 +178,15 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 			continue
 		}
 		data, fromReplay := e.dev.serve(e.coreID, desc.Addr)
+		lat := e.dev.effectiveLatency()
+		if f, ok := e.dev.inj.Straggle(); ok {
+			lat = sim.Time(float64(lat) * f)
+		}
 		// The delay module times responses off the descriptor's
 		// submission timestamp, so the emulated latency is measured
 		// from the host's enqueue — but a response can never leave
 		// before its descriptor has been fetched.
-		sendAt := desc.Submitted + e.dev.cfg.InternalDelayFor(e.dev.effectiveLatency())
+		sendAt := desc.Submitted + e.dev.cfg.InternalDelayFor(lat)
 		if sendAt < arrival {
 			sendAt = arrival
 		}
@@ -186,6 +195,10 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 			if earliest > sendAt {
 				sendAt = earliest
 			}
+		}
+		if e.dev.inj.DropCompletion() {
+			// Both writes lost; the host's descriptor timeout resubmits.
+			continue
 		}
 		// Response-data write TLP, then host DRAM write.
 		e.dev.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
@@ -197,17 +210,40 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 		})
 		// Completion write queues behind the data write on the upstream
 		// link, guaranteeing host-visible ordering.
-		e.dev.link.SendUpAt(sendAt, e.dev.cfg.CompletionBytes, 0, func() {
-			complLanded := e.dev.eng.NewGate()
-			e.dev.hostDRAM.Write(complLanded)
-			complLanded.OnFire(func() {
-				e.cq.Post(desc.ID, e.dev.eng.Now())
-				old := e.cqNotify
-				e.cqNotify = e.dev.eng.NewGate()
-				old.Fire()
-			})
-		})
+		e.sendCompletion(sendAt, desc.ID)
+		if e.dev.inj.Duplicate() {
+			// Spurious second completion; the host scheduler discards
+			// entries for descriptors it no longer tracks.
+			e.sendCompletion(sendAt, desc.ID)
+		}
 	}
+}
+
+// sendCompletion carries one completion entry upstream and lands it in
+// the host completion queue.
+func (e *SWQEndpoint) sendCompletion(sendAt sim.Time, id uint64) {
+	e.dev.link.SendUpAt(sendAt, e.dev.cfg.CompletionBytes, 0, func() {
+		complLanded := e.dev.eng.NewGate()
+		e.dev.hostDRAM.Write(complLanded)
+		complLanded.OnFire(func() {
+			e.postCompletion(id)
+		})
+	})
+}
+
+// postCompletion places a landed completion into the host queue. Under
+// an injected CQCapacity bound a full queue defers the post — the
+// device retries after the platform's backpressure delay until the host
+// drains entries.
+func (e *SWQEndpoint) postCompletion(id uint64) {
+	if e.dev.inj.CQFull(e.cq.Len()) {
+		e.dev.eng.After(e.dev.cfg.CQBackpressureDelay, func() { e.postCompletion(id) })
+		return
+	}
+	e.cq.Post(id, e.dev.eng.Now())
+	old := e.cqNotify
+	e.cqNotify = e.dev.eng.NewGate()
+	old.Fire()
 }
 
 // processWrite handles a write descriptor (§VII extension): the device
@@ -226,10 +262,7 @@ func (e *SWQEndpoint) processWrite(desc hostmem.Descriptor, arrival sim.Time) {
 					complLanded := e.dev.eng.NewGate()
 					e.dev.hostDRAM.Write(complLanded)
 					complLanded.OnFire(func() {
-						e.cq.Post(desc.ID, e.dev.eng.Now())
-						old := e.cqNotify
-						e.cqNotify = e.dev.eng.NewGate()
-						old.Fire()
+						e.postCompletion(desc.ID)
 					})
 				})
 			})

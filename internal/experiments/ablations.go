@@ -29,8 +29,8 @@ func (s Suite) AblationLFB() *stats.Table {
 		cfg := s.Base.WithLatency(4 * sim.Microsecond)
 		cfg.LFBPerCore = lfb
 		cfg.ChipQueueMMIO = 4096 // isolate the per-core limit
-		base := core.RunDRAMBaseline(cfg, wl)
-		r := core.RunPrefetch(cfg, wl, threads, false)
+		base := must(core.RunDRAMBaseline(cfg, wl))
+		r := must(core.RunPrefetch(cfg, wl, threads, false))
 		series.Add(float64(lfb), r.NormalizedTo(base.Measurement))
 	}
 	rule := 20 * 4 // 20 x latency-in-us
@@ -55,15 +55,15 @@ func (s Suite) AblationChipQueue() *stats.Table {
 		cfg := s.Base.WithCores(8)
 		cfg.ChipQueueMMIO = q
 		cfg.LFBPerCore = 20 // per-core rule for 1us
-		base := core.RunDRAMBaseline(cfg, wl)
-		stock.Add(float64(q), core.RunPrefetch(cfg, wl, 12, false).NormalizedTo(base.Measurement))
+		base := must(core.RunDRAMBaseline(cfg, wl))
+		stock.Add(float64(q), must(core.RunPrefetch(cfg, wl, 12, false)).NormalizedTo(base.Measurement))
 
 		// Eight cores at DRAM parity generate ~7.6 GB/s of MMIO
 		// responses — above the Gen2 x8 wire itself. The paper's
 		// suggestion to attach such devices to the memory interconnect
 		// (§V-B) is modeled as a 4x-bandwidth link.
 		cfg.PCIeBandwidth *= 4
-		fat.Add(float64(q), core.RunPrefetch(cfg, wl, 12, false).NormalizedTo(base.Measurement))
+		fat.Add(float64(q), must(core.RunPrefetch(cfg, wl, 12, false)).NormalizedTo(base.Measurement))
 	}
 	t.Note("paper's rule sizes the chip queue at 20 x 1us x 8 cores = 160 entries")
 	t.Note("on the stock link, queue sizing alone saturates the PCIe wire; a memory-interconnect-class link restores full scaling (§V-B)")
@@ -103,8 +103,8 @@ func (s Suite) AblationRule() *stats.Table {
 				iters = min
 			}
 			wl := workload.NewMicrobench(iters, workload.DefaultWorkCount, 1)
-			base := core.RunDRAMBaseline(cfg, wl)
-			r := core.RunPrefetch(cfg, wl, threads, false)
+			base := must(core.RunDRAMBaseline(cfg, wl))
+			r := must(core.RunPrefetch(cfg, wl, threads, false))
 			return r.NormalizedTo(base.Measurement) >= target
 		}
 		// Galloping + binary search over the queue size.
@@ -147,8 +147,8 @@ func (s Suite) AblationSwitchCost() *stats.Table {
 		100 * sim.Nanosecond, 200 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond} {
 		cfg := s.Base
 		cfg.CtxSwitch = ctx
-		base := core.RunDRAMBaseline(cfg, wl)
-		r := core.RunPrefetch(cfg, wl, 10, false)
+		base := must(core.RunDRAMBaseline(cfg, wl))
+		r := must(core.RunPrefetch(cfg, wl, 10, false))
 		series.Add(ctx.Nanoseconds(), r.NormalizedTo(base.Measurement))
 	}
 	t.Note("the unoptimized 2us Pth switch forfeits nearly all the benefit; 20-50ns preserves it (§IV-B)")
@@ -185,8 +185,8 @@ func (s Suite) AblationSWQOpts() *stats.Table {
 		if v.burstOne {
 			cfg.FetchBurst = 1
 		}
-		base := core.RunDRAMBaseline(cfg, wl)
-		r := core.RunSWQueue(cfg, wl, 16, false)
+		base := must(core.RunDRAMBaseline(cfg, wl))
+		r := must(core.RunSWQueue(cfg, wl, 16, false))
 		series.Add(float64(i+1), r.NormalizedTo(base.Measurement))
 		t.Note("variant %d (%s): %.3f", i+1, v.label, r.NormalizedTo(base.Measurement))
 	}

@@ -56,6 +56,40 @@ func Quick() Suite {
 	return s
 }
 
+// Validate reports the first implausible suite field, or nil. Every
+// experiment entry point should call it (the CLI does) so a bad sweep
+// fails before hours of simulation, not during.
+func (s Suite) Validate() error {
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if s.Iterations <= 0 {
+		return fmt.Errorf("experiments: iterations %d must be positive", s.Iterations)
+	}
+	if s.AppLookups <= 0 {
+		return fmt.Errorf("experiments: app lookups %d must be positive", s.AppLookups)
+	}
+	if len(s.Threads) == 0 {
+		return fmt.Errorf("experiments: thread sweep must not be empty")
+	}
+	for _, n := range s.Threads {
+		if n <= 0 {
+			return fmt.Errorf("experiments: thread count %d must be positive", n)
+		}
+	}
+	return nil
+}
+
+// must unwraps a run result. Suite configurations are validated before
+// any sweep starts and derive every per-run config from the validated
+// base, so a failing run here is a harness bug, not user input.
+func must(r core.Result, err error) core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 // latencies swept in the latency figures.
 var latencies = []sim.Time{1 * sim.Microsecond, 2 * sim.Microsecond, 4 * sim.Microsecond}
 
@@ -80,8 +114,8 @@ func (s Suite) Fig2() *stats.Table {
 		series := t.AddSeries(latLabel(lat))
 		for _, w := range workCounts {
 			wl := s.ubench(1, w)
-			base := core.RunDRAMBaseline(cfg, wl)
-			dev := core.RunOnDemandDevice(cfg, wl)
+			base := must(core.RunDRAMBaseline(cfg, wl))
+			dev := must(core.RunOnDemandDevice(cfg, wl))
 			series.Add(float64(w), dev.NormalizedTo(base.Measurement))
 		}
 	}
@@ -101,10 +135,10 @@ func (s Suite) Fig3() *stats.Table {
 	wl := s.ubench(1, workload.DefaultWorkCount)
 	for _, lat := range latencies {
 		cfg := s.Base.WithLatency(lat)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(latLabel(lat))
 		for _, n := range s.Threads {
-			r := core.RunPrefetch(cfg, wl, n, false)
+			r := must(core.RunPrefetch(cfg, wl, n, false))
 			series.Add(float64(n), r.NormalizedTo(base.Measurement))
 		}
 	}
@@ -127,10 +161,10 @@ func (s Suite) Fig4() *stats.Table {
 	cfg := s.Base // 1us default
 	for _, w := range []int{100, 200, 500, 1000} {
 		wl := s.ubench(1, w)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("work=%d", w))
 		for _, n := range s.Threads {
-			r := core.RunPrefetch(cfg, wl, n, false)
+			r := must(core.RunPrefetch(cfg, wl, n, false))
 			series.Add(float64(n), r.NormalizedTo(base.Measurement))
 		}
 	}
@@ -150,12 +184,12 @@ func (s Suite) Fig5() *stats.Table {
 	wl := s.ubench(1, workload.DefaultWorkCount)
 	maxChip := 0
 	for _, lat := range latencies {
-		base := core.RunDRAMBaseline(s.Base.WithLatency(lat), wl)
+		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
 		for _, cores := range []int{1, 2, 4, 8} {
 			cfg := s.Base.WithLatency(lat).WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
 			for _, n := range s.Threads {
-				r := core.RunPrefetch(cfg, wl, n, false)
+				r := must(core.RunPrefetch(cfg, wl, n, false))
 				series.Add(float64(n), r.NormalizedTo(base.Measurement))
 				if r.Diag.MaxChipQueue > maxChip {
 					maxChip = r.Diag.MaxChipQueue
@@ -180,10 +214,10 @@ func (s Suite) Fig6() *stats.Table {
 	cfg := s.Base
 	for _, reads := range []int{1, 2, 4} {
 		wl := s.ubench(reads, workload.DefaultWorkCount)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("%d-read", reads))
 		for _, n := range s.Threads {
-			r := core.RunPrefetch(cfg, wl, n, false)
+			r := must(core.RunPrefetch(cfg, wl, n, false))
 			series.Add(float64(n), r.NormalizedTo(base.Measurement))
 		}
 		knee := series.SaturationX(0.97)
@@ -207,12 +241,12 @@ func (s Suite) Fig7() *stats.Table {
 	threads := append(append([]int{}, s.Threads...), 20, 24, 28, 32)
 	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
 		cfg := s.Base.WithLatency(lat)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		pf := t.AddSeries("prefetch " + latLabel(lat))
 		sq := t.AddSeries("swqueue " + latLabel(lat))
 		for _, n := range threads {
-			pf.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
-			sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			pf.Add(float64(n), must(core.RunPrefetch(cfg, wl, n, false)).NormalizedTo(base.Measurement))
+			sq.Add(float64(n), must(core.RunSWQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
 		}
 	}
 	if sq := t.FindSeries("swqueue 1us"); sq != nil {
@@ -236,12 +270,12 @@ func (s Suite) Fig8() *stats.Table {
 	threads := append(append([]int{}, s.Threads...), 24, 32, 48)
 	var useful, gbps float64
 	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
-		base := core.RunDRAMBaseline(s.Base.WithLatency(lat), wl)
+		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
 		for _, cores := range []int{1, 2, 4, 8} {
 			cfg := s.Base.WithLatency(lat).WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
 			for _, n := range threads {
-				r := core.RunSWQueue(cfg, wl, n, false)
+				r := must(core.RunSWQueue(cfg, wl, n, false))
 				series.Add(float64(n), r.NormalizedTo(base.Measurement))
 				if cores == 8 {
 					if r.Diag.UpstreamGBps > gbps {
@@ -269,11 +303,11 @@ func (s Suite) Fig9() *stats.Table {
 	for _, cores := range []int{1, 4} {
 		for _, reads := range []int{1, 2, 4} {
 			wl := s.ubench(reads, workload.DefaultWorkCount)
-			base := core.RunDRAMBaseline(s.Base, wl)
+			base := must(core.RunDRAMBaseline(s.Base, wl))
 			cfg := s.Base.WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%dc %d-read", cores, reads))
 			for _, n := range threads {
-				r := core.RunSWQueue(cfg, wl, n, false)
+				r := must(core.RunSWQueue(cfg, wl, n, false))
 				series.Add(float64(n), r.NormalizedTo(base.Measurement))
 			}
 		}
@@ -331,14 +365,14 @@ func (s Suite) Fig10() []*stats.Table {
 		cfg := s.Base.WithCores(c.cores)
 		wls := append(append([]core.Workload{}, apps...), ub4)
 		for _, wl := range wls {
-			base := core.RunDRAMBaseline(cfg, wl)
+			base := must(core.RunDRAMBaseline(cfg, wl))
 			series := t.AddSeries(wl.Name())
 			for _, n := range s.Threads {
 				var r core.Result
 				if c.mech == "prefetch" {
-					r = core.RunPrefetch(cfg, wl, n, s.UseReplay && wl != ub4)
+					r = must(core.RunPrefetch(cfg, wl, n, s.UseReplay && wl != ub4))
 				} else {
-					r = core.RunSWQueue(cfg, wl, n, s.UseReplay && wl != ub4)
+					r = must(core.RunSWQueue(cfg, wl, n, s.UseReplay && wl != ub4))
 				}
 				series.Add(float64(n), r.NormalizedTo(base.Measurement))
 			}

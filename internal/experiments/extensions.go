@@ -23,14 +23,14 @@ func (s Suite) ExpKernelQueue() *stats.Table {
 	}
 	wl := s.ubench(1, workload.DefaultWorkCount)
 	cfg := s.Base
-	base := core.RunDRAMBaseline(cfg, wl)
+	base := must(core.RunDRAMBaseline(cfg, wl))
 	pf := t.AddSeries("prefetch")
 	sq := t.AddSeries("swqueue")
 	kq := t.AddSeries("kernelq")
 	for _, n := range s.Threads {
-		pf.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
-		sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
-		kq.Add(float64(n), core.RunKernelQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+		pf.Add(float64(n), must(core.RunPrefetch(cfg, wl, n, false)).NormalizedTo(base.Measurement))
+		sq.Add(float64(n), must(core.RunSWQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
+		kq.Add(float64(n), must(core.RunKernelQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
 	}
 	_, kqPeak := kq.Peak()
 	t.Note("kernel-managed queues peak at %.3f: syscalls, 2us kernel switches and interrupts dwarf the 1us access (§III-A)", kqPeak)
@@ -50,12 +50,12 @@ func (s Suite) ExpSMT() *stats.Table {
 	wl := s.ubench(1, workload.DefaultWorkCount)
 	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
 		cfg := s.Base.WithLatency(lat)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(latLabel(lat))
 		for _, contexts := range []int{1, 2, 4, 8} {
 			c := cfg
 			c.SMTContexts = contexts
-			series.Add(float64(contexts), core.RunSMT(c, wl).NormalizedTo(base.Measurement))
+			series.Add(float64(contexts), must(core.RunSMT(c, wl)).NormalizedTo(base.Measurement))
 		}
 	}
 	t.Note("commodity SMT (2 contexts) roughly doubles on-demand throughput — far short of the 10+ in-flight accesses a microsecond needs (§III-B)")
@@ -75,12 +75,12 @@ func (s Suite) ExpWrites() *stats.Table {
 	cfg := s.Base
 	for _, writes := range []int{0, 1, 4} {
 		wl := workload.NewMicrobenchRW(s.Iterations, workload.DefaultWorkCount, 1, writes)
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		pf := t.AddSeries(fmt.Sprintf("prefetch +%dw", writes))
 		sq := t.AddSeries(fmt.Sprintf("swqueue +%dw", writes))
 		for _, n := range s.Threads {
-			pf.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
-			sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			pf.Add(float64(n), must(core.RunPrefetch(cfg, wl, n, false)).NormalizedTo(base.Measurement))
+			sq.Add(float64(n), must(core.RunSWQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
 		}
 	}
 	t.Note("prefetch-path writes cost ~1ns each (store buffer absorbs them); SWQ writes pay the descriptor overhead, compounding its 50%% cap")
@@ -102,16 +102,16 @@ func (s Suite) ExpMemBus() *stats.Table {
 	for _, lat := range latencies {
 		series := t.AddSeries(latLabel(lat) + " membus+rule")
 		stock := t.AddSeries(latLabel(lat) + " stock pcie")
-		base := core.RunDRAMBaseline(s.Base.WithLatency(lat), wl)
+		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
 		threads := 20 * int(lat/sim.Microsecond) // enough to cover the rule-sized LFBs
 		for _, cores := range []int{1, 2, 4, 8} {
 			cfg := s.Base.WithLatency(lat).WithCores(cores)
-			stock.Add(float64(cores), core.RunPrefetch(cfg, wl, threads, false).NormalizedTo(base.Measurement))
+			stock.Add(float64(cores), must(core.RunPrefetch(cfg, wl, threads, false)).NormalizedTo(base.Measurement))
 
 			tuned := cfg.AsMemBus()
 			tuned.LFBPerCore = 20 * int(lat/sim.Microsecond) // the §V-B rule
 			tuned.ChipQueueMMIO = tuned.LFBPerCore * cores
-			series.Add(float64(cores), core.RunPrefetch(tuned, wl, threads, false).NormalizedTo(base.Measurement))
+			series.Add(float64(cores), must(core.RunPrefetch(tuned, wl, threads, false)).NormalizedTo(base.Measurement))
 		}
 	}
 	t.Note("with queues sized by 20 x latency(us) x cores and a memory-class link, every latency scales near-linearly with cores — \"successful usage of microsecond-level devices is not predicated on drastically new architectures\" (§VII)")
@@ -140,13 +140,13 @@ func (s Suite) ExpTailLatency() *stats.Table {
 	for _, v := range variants {
 		cfg := s.Base
 		cfg.DeviceLatencyTailProb = v.prob
-		base := core.RunDRAMBaseline(cfg, wl)
+		base := must(core.RunDRAMBaseline(cfg, wl))
 		pf := t.AddSeries("prefetch " + v.label)
 		sq := t.AddSeries("swqueue " + v.label)
 		for _, n := range s.Threads {
-			rp := core.RunPrefetch(cfg, wl, n, false)
+			rp := must(core.RunPrefetch(cfg, wl, n, false))
 			pf.Add(float64(n), rp.NormalizedTo(base.Measurement))
-			sq.Add(float64(n), core.RunSWQueue(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			sq.Add(float64(n), must(core.RunSWQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
 			if v.prob > 0 && n == 10 {
 				t.Note("prefetch 10t with tail: access P50 %.0fns P99 %.0fns", rp.Diag.AccessP50Ns, rp.Diag.AccessP99Ns)
 			}
@@ -173,20 +173,20 @@ func (s Suite) ExpPointerChase() *stats.Table {
 	}
 	cfg := s.Base
 	chase := workload.NewPointerChase(4096, s.Iterations, chaseWork)
-	base := core.RunDRAMBaseline(cfg, chase)
+	base := must(core.RunDRAMBaseline(cfg, chase))
 	indep := s.ubench(1, chaseWork)
-	indepBase := core.RunDRAMBaseline(cfg, indep)
-	od := core.RunOnDemandDevice(cfg, chase).NormalizedTo(base.Measurement)
+	indepBase := must(core.RunDRAMBaseline(cfg, indep))
+	od := must(core.RunOnDemandDevice(cfg, chase)).NormalizedTo(base.Measurement)
 
 	pf := t.AddSeries("chase prefetch")
 	sq := t.AddSeries("chase swqueue")
 	ub := t.AddSeries("independent prefetch")
 	for _, n := range s.Threads {
 		chase.Reset()
-		pf.Add(float64(n), core.RunPrefetch(cfg, chase, n, true).NormalizedTo(base.Measurement))
+		pf.Add(float64(n), must(core.RunPrefetch(cfg, chase, n, true)).NormalizedTo(base.Measurement))
 		chase.Reset()
-		sq.Add(float64(n), core.RunSWQueue(cfg, chase, n, true).NormalizedTo(base.Measurement))
-		ub.Add(float64(n), core.RunPrefetch(cfg, indep, n, false).NormalizedTo(indepBase.Measurement))
+		sq.Add(float64(n), must(core.RunSWQueue(cfg, chase, n, true)).NormalizedTo(base.Measurement))
+		ub.Add(float64(n), must(core.RunPrefetch(cfg, indep, n, false)).NormalizedTo(indepBase.Measurement))
 	}
 	t.Note("chase DRAM baseline %.0fns/hop vs independent %.0fns/iter: the chain denies the window its MLP",
 		base.IterationTime()*1e9, indepBase.IterationTime()*1e9)
@@ -235,8 +235,8 @@ func (s Suite) ExpDevices() *stats.Table {
 				iters = min
 			}
 			wl := workload.NewMicrobench(iters, workload.DefaultWorkCount, 1)
-			base := core.RunDRAMBaseline(cfg, wl)
-			series.Add(float64(n), core.RunPrefetch(cfg, wl, n, false).NormalizedTo(base.Measurement))
+			base := must(core.RunDRAMBaseline(cfg, wl))
+			series.Add(float64(n), must(core.RunPrefetch(cfg, wl, n, false)).NormalizedTo(base.Measurement))
 		}
 		knee := series.SaturationX(0.9)
 		t.Note("%s reaches 90%% of its peak at ~%.0f threads", dev.label, knee)
@@ -269,12 +269,12 @@ func (s Suite) ExpLocality() *stats.Table {
 	for _, bits := range []uint64{1 << 16, 1 << 19, 1 << 22} { // 8KB, 64KB, 512KB
 		kb := float64(bits / 8 / 1024)
 		bloom := workload.NewBloom(bits, 4, 512, s.AppLookups, workload.DefaultWorkCount)
-		base := core.RunDRAMBaseline(cfg, bloom)
-		r := core.RunPrefetch(cfg, bloom, 8, false)
+		base := must(core.RunDRAMBaseline(cfg, bloom))
+		r := must(core.RunPrefetch(cfg, bloom, 8, false))
 		pf.Add(kb, r.NormalizedTo(base.Measurement))
 		hits.Add(kb, r.Diag.CacheHitRate)
 		bloom.Reset()
-		sq.Add(kb, core.RunSWQueue(cfg, bloom, 8, false).NormalizedTo(base.Measurement))
+		sq.Add(kb, must(core.RunSWQueue(cfg, bloom, 8, false)).NormalizedTo(base.Measurement))
 	}
 	t.Note("hardware caching is exclusive to the memory-mapped interface; SWQ response buffers see none (§V-C)")
 	return t
@@ -282,8 +282,9 @@ func (s Suite) ExpLocality() *stats.Table {
 
 // Extensions runs every beyond-the-paper experiment.
 func (s Suite) Extensions() []*stats.Table {
-	return []*stats.Table{
+	tables := []*stats.Table{
 		s.ExpKernelQueue(), s.ExpSMT(), s.ExpWrites(), s.ExpMemBus(),
 		s.ExpTailLatency(), s.ExpPointerChase(), s.ExpDevices(), s.ExpLocality(),
 	}
+	return append(tables, s.ExpFaults()...)
 }

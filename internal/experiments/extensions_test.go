@@ -30,7 +30,7 @@ func TestExpKernelQueueDwarfsAccess(t *testing.T) {
 func TestKernelQueueCorrectness(t *testing.T) {
 	// The mechanism must still compute the right answers, however slow.
 	m := workload.NewMemcached(64, 4, 60, workload.DefaultWorkCount)
-	r := core.RunKernelQueue(platform.Default(), m, 4, false)
+	r := must(core.RunKernelQueue(platform.Default(), m, 4, false))
 	if m.BadValues != 0 || m.Hits != 60 {
 		t.Errorf("kernelq corrupted lookups: hits=%d bad=%d", m.Hits, m.BadValues)
 	}
@@ -75,14 +75,14 @@ func TestExpWritesShape(t *testing.T) {
 func TestWritesAreCounted(t *testing.T) {
 	cfg := platform.Default()
 	wl := workload.NewMicrobenchRW(300, workload.DefaultWorkCount, 1, 2)
-	r := core.RunPrefetch(cfg, wl, 4, false)
+	r := must(core.RunPrefetch(cfg, wl, 4, false))
 	if r.Diag.Writes != 600 {
 		t.Errorf("writes = %d, want 600", r.Diag.Writes)
 	}
 	if r.Accesses != 300 {
 		t.Errorf("reads = %d, want 300", r.Accesses)
 	}
-	r2 := core.RunSWQueue(cfg, wl, 4, false)
+	r2 := must(core.RunSWQueue(cfg, wl, 4, false))
 	if r2.Diag.Writes != 600 {
 		t.Errorf("swq writes = %d, want 600", r2.Diag.Writes)
 	}
@@ -143,7 +143,7 @@ func TestExpTailLatency(t *testing.T) {
 func TestAccessLatencyPercentiles(t *testing.T) {
 	cfg := platform.Default()
 	wl := workload.NewMicrobench(500, workload.DefaultWorkCount, 1)
-	r := core.RunPrefetch(cfg, wl, 10, false)
+	r := must(core.RunPrefetch(cfg, wl, 10, false))
 	// At 10 threads a 1us device: observed latency ~= 1us (the demand
 	// load waits out the residual).
 	if r.Diag.AccessP50Ns < 900 || r.Diag.AccessP50Ns > 1200 {
@@ -155,7 +155,7 @@ func TestAccessLatencyPercentiles(t *testing.T) {
 
 	// With the tail enabled, P99 shows the outliers.
 	cfg.DeviceLatencyTailProb = 0.02
-	base := core.RunPrefetch(cfg, wl, 10, false)
+	base := must(core.RunPrefetch(cfg, wl, 10, false))
 	if base.Diag.AccessP99Ns < 5000 {
 		t.Errorf("tail P99 = %.0fns, want outliers near 10us", base.Diag.AccessP99Ns)
 	}
@@ -186,7 +186,7 @@ func TestCacheHitsSkipDevice(t *testing.T) {
 	cfg := platform.Default()
 	cfg.DeviceCacheLines = 1 << 14 // big enough to hold the whole filter
 	bloom := workload.NewBloom(1<<15, 4, 128, 600, workload.DefaultWorkCount)
-	r := core.RunPrefetch(cfg, bloom, 4, false)
+	r := must(core.RunPrefetch(cfg, bloom, 4, false))
 	// After compulsory misses, everything hits: accesses (device reads)
 	// far below 600 lookups x 4 probes.
 	if r.Accesses >= 600*4/2 {
@@ -211,7 +211,7 @@ func TestWriteInvalidatesCaches(t *testing.T) {
 	// check the mechanics via the RW microbench's disjoint streams plus
 	// diagnostics — writes must not inflate the hit rate.
 	wl := workload.NewMicrobenchRW(300, workload.DefaultWorkCount, 1, 1)
-	r := core.RunPrefetch(cfg, wl, 4, false)
+	r := must(core.RunPrefetch(cfg, wl, 4, false))
 	if r.Diag.CacheHits != 0 {
 		t.Errorf("fresh-line run recorded %d cache hits", r.Diag.CacheHits)
 	}
@@ -223,8 +223,8 @@ func TestWriteInvalidatesCaches(t *testing.T) {
 func TestSMTDeterministicAndCounted(t *testing.T) {
 	cfg := platform.Default()
 	wl := workload.NewMicrobench(400, workload.DefaultWorkCount, 1)
-	a := core.RunSMT(cfg, wl)
-	b := core.RunSMT(cfg, wl)
+	a := must(core.RunSMT(cfg, wl))
+	b := must(core.RunSMT(cfg, wl))
 	if a.ElapsedSeconds != b.ElapsedSeconds {
 		t.Error("SMT runs nondeterministic")
 	}

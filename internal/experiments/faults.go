@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// faultRates is the injected-fault-rate sweep of the ExpFaults family.
+// Rate 0 is the control: a disabled plan takes the exact fault-free
+// code path, so its datapoints are bit-identical to a clean run.
+var faultRates = []float64{0, 0.002, 0.01, 0.05}
+
+// faultSeed fixes the draw stream so the family is reproducible.
+const faultSeed = 42
+
+// faultMech is one access mechanism under test.
+type faultMech struct {
+	name string
+	run  func(cfg platform.Config, wl core.Workload) core.Result
+}
+
+func faultMechs() []faultMech {
+	return []faultMech{
+		{"ondemand", func(cfg platform.Config, wl core.Workload) core.Result {
+			return must(core.RunOnDemandDevice(cfg, wl))
+		}},
+		{"prefetch", func(cfg platform.Config, wl core.Workload) core.Result {
+			return must(core.RunPrefetch(cfg, wl, 10, false))
+		}},
+		{"swqueue", func(cfg platform.Config, wl core.Workload) core.Result {
+			return must(core.RunSWQueue(cfg, wl, 10, false))
+		}},
+		{"kernelq", func(cfg platform.Config, wl core.Workload) core.Result {
+			return must(core.RunKernelQueue(cfg, wl, 4, false))
+		}},
+	}
+}
+
+// ExpFaults measures graceful degradation of every access mechanism
+// under deterministic fault injection: a rate sweep applies the same
+// probability to the dominant fault layers (dropped completions, device
+// stragglers, corrupted TLPs) and records, per mechanism, the
+// throughput retained relative to its own fault-free run, the
+// p99/p999 host-observed access latency, and the retry amplification —
+// plus a per-layer breakdown at a fixed 1% rate. All tables come from
+// one run matrix, so they describe the same runs.
+func (s Suite) ExpFaults() []*stats.Table {
+	wl := s.ubench(1, workload.DefaultWorkCount)
+
+	throughput := &stats.Table{
+		ID:     "exp-faults-throughput",
+		Title:  "Throughput retained under injected faults",
+		XLabel: "fault rate (drop/straggler/TLP-corrupt)",
+		YLabel: "fraction of fault-free work IPS",
+	}
+	tail := &stats.Table{
+		ID:     "exp-faults-tail",
+		Title:  "Access-latency tail under injected faults",
+		XLabel: "fault rate (drop/straggler/TLP-corrupt)",
+		YLabel: "host-observed access latency, ns",
+	}
+	retries := &stats.Table{
+		ID:     "exp-faults-retries",
+		Title:  "Retry amplification under injected faults",
+		XLabel: "fault rate (drop/straggler/TLP-corrupt)",
+		YLabel: "retries per access",
+	}
+
+	for _, m := range faultMechs() {
+		tp := throughput.AddSeries(m.name)
+		p99 := tail.AddSeries(m.name + " p99")
+		p999 := tail.AddSeries(m.name + " p999")
+		amp := retries.AddSeries(m.name)
+		var cleanIPS float64
+		for _, rate := range faultRates {
+			cfg := s.Base
+			cfg.Faults = fault.Plan{
+				Seed:               faultSeed,
+				DropCompletionProb: rate,
+				StragglerProb:      rate,
+				TLPCorruptProb:     rate,
+			}
+			r := m.run(cfg, wl)
+			if rate == 0 {
+				cleanIPS = r.WorkIPS()
+			}
+			tp.Add(rate, r.WorkIPS()/cleanIPS)
+			p99.Add(rate, r.Diag.AccessP99Ns)
+			p999.Add(rate, r.Diag.AccessP999Ns)
+			amp.Add(rate, float64(r.Diag.Retries)/float64(r.Accesses))
+			if rate == 0.01 {
+				throughput.Note("%s at 1%%: retries=%d timeouts=%d abandoned=%d (faults: %d dropped, %d stragglers, %d corrupt TLPs)",
+					m.name, r.Diag.Retries, r.Diag.Timeouts, r.Diag.Abandoned,
+					r.Diag.Faults.DroppedCompletions, r.Diag.Faults.Stragglers, r.Diag.Faults.CorruptTLPs)
+			}
+		}
+	}
+	throughput.Note("rate-0 points are bit-identical to fault-free runs (disabled plans take the exact clean code path)")
+
+	return []*stats.Table{throughput, tail, retries, s.expFaultLayers(wl)}
+}
+
+// faultLayers enumerates the per-layer plans of the 1% breakdown. Each
+// plan activates exactly one fault mechanism; the layers that only
+// exist on the software-queue path (doorbell loss, CQ overflow) degrade
+// nothing elsewhere, which the table makes visible.
+var faultLayers = []struct {
+	name string
+	plan fault.Plan
+}{
+	{"drop-completion", fault.Plan{Seed: faultSeed, DropCompletionProb: 0.01}},
+	{"straggler", fault.Plan{Seed: faultSeed, StragglerProb: 0.01}},
+	{"duplicate", fault.Plan{Seed: faultSeed, DuplicateProb: 0.01}},
+	{"TLP-corrupt", fault.Plan{Seed: faultSeed, TLPCorruptProb: 0.01}},
+	{"link-stall", fault.Plan{Seed: faultSeed, LinkStallProb: 0.01}},
+	{"doorbell-drop", fault.Plan{Seed: faultSeed, DoorbellDropProb: 0.01}},
+	{"cq-overflow", fault.Plan{Seed: faultSeed, CQCapacity: 4}},
+}
+
+// expFaultLayers is the per-layer breakdown: one fault mechanism at a
+// time, 1% rate (or a 4-entry CQ bound), throughput retained per
+// access mechanism. X is the layer's index into the noted legend.
+func (s Suite) expFaultLayers(wl core.Workload) *stats.Table {
+	t := &stats.Table{
+		ID:     "exp-faults-layers",
+		Title:  "Per-layer fault impact at 1% rate",
+		XLabel: "fault layer (see legend note)",
+		YLabel: "fraction of fault-free work IPS",
+	}
+	legend := ""
+	for i, l := range faultLayers {
+		if i > 0 {
+			legend += ", "
+		}
+		legend += fmt.Sprintf("%d=%s", i, l.name)
+	}
+	t.Note("layers: %s", legend)
+	for _, m := range faultMechs() {
+		series := t.AddSeries(m.name)
+		clean := m.run(s.Base, wl).WorkIPS()
+		for i, l := range faultLayers {
+			cfg := s.Base
+			cfg.Faults = l.plan
+			series.Add(float64(i), m.run(cfg, wl).WorkIPS()/clean)
+		}
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExpFaultsFamily(t *testing.T) {
+	s := Quick()
+	s.Iterations = 120
+	tables := s.ExpFaults()
+	if len(tables) != 4 {
+		t.Fatalf("ExpFaults returned %d tables, want 4", len(tables))
+	}
+	tp := tables[0]
+	for _, series := range tp.Series {
+		if len(series.X) != len(faultRates) {
+			t.Errorf("%s: %d points, want %d", series.Label, len(series.X), len(faultRates))
+			continue
+		}
+		// The rate-0 control is the same bits as the fault-free run, so
+		// the retained fraction is exactly 1.0, not approximately.
+		if y := series.YAt(0); y != 1.0 {
+			t.Errorf("%s: throughput retained at rate 0 = %v, want exactly 1.0", series.Label, y)
+		}
+		// At the top rate, recovery costs something.
+		if y := series.YAt(faultRates[len(faultRates)-1]); y >= 1.0 {
+			t.Errorf("%s: throughput retained at top rate = %v, want < 1.0", series.Label, y)
+		}
+	}
+	// Retry/timeout accounting must be visible in the table notes.
+	found := false
+	for _, n := range tp.Notes {
+		if len(n) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("throughput table carries no notes")
+	}
+}

@@ -1,0 +1,287 @@
+// Package fault provides deterministic fault injection for the device
+// stack. The paper's emulator is perfectly behaved — fixed latency, no
+// lost completions, no link errors — but the device classes it models
+// (NVMe flash, RDMA NICs) live with timeouts, retries, and stragglers.
+// This package injects such misbehavior at three layers:
+//
+//   - device: dropped completions (a response that never returns),
+//     straggler latencies far beyond the Ext.-tail model, and spurious
+//     duplicated responses;
+//   - PCIe: transaction-layer packet corruption forcing a link-level
+//     replay (retransmission plus a recovery penalty), and transient
+//     link stalls;
+//   - software queue: lost doorbell writes and completion-queue
+//     overflow backpressure.
+//
+// All draws come from one seeded math/rand stream consumed in simulated
+// event order, so runs are exactly reproducible and replay determinism
+// is preserved. A Plan with every probability zero is "disabled":
+// NewInjector returns nil for it, every Injector method is safe on a nil
+// receiver, and hosts take the fault-aware code path only for a non-nil
+// injector — so a disabled plan perturbs nothing, bit for bit.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// DefaultStragglerFactor multiplies the drawn device latency for a
+// straggler when the plan does not set its own factor: two orders of
+// magnitude covers a flash read stuck behind a block erase.
+const DefaultStragglerFactor = 50
+
+// DefaultLinkStallTime is the transient link-stall duration when the
+// plan does not set its own: a few microseconds of retraining.
+const DefaultLinkStallTime = 2 * sim.Microsecond
+
+// Plan is a declarative, seeded fault schedule. The zero value injects
+// nothing.
+type Plan struct {
+	// Seed selects the deterministic draw stream.
+	Seed int64
+
+	// ---- Device layer ----
+
+	// DropCompletionProb is the probability a served request's response
+	// is lost before reaching the host.
+	DropCompletionProb float64
+	// StragglerProb is the probability an access takes
+	// StragglerFactor times its drawn latency.
+	StragglerProb float64
+	// StragglerFactor multiplies the latency of a straggler
+	// (DefaultStragglerFactor if zero).
+	StragglerFactor float64
+	// DuplicateProb is the probability the device sends a response (or
+	// posts a completion) twice.
+	DuplicateProb float64
+
+	// ---- PCIe layer ----
+
+	// TLPCorruptProb is the probability a transaction-layer packet is
+	// corrupted and must be replayed at the link level, paying the
+	// retransmission plus the platform's replay penalty.
+	TLPCorruptProb float64
+	// LinkStallProb is the probability a packet hits a transient link
+	// stall of LinkStallTime before transmission.
+	LinkStallProb float64
+	// LinkStallTime is the stall duration (DefaultLinkStallTime if
+	// zero).
+	LinkStallTime sim.Time
+
+	// ---- Software-queue layer ----
+
+	// DoorbellDropProb is the probability an MMIO doorbell write is
+	// lost at the device, leaving the request fetcher parked until the
+	// host's timeout re-rings it.
+	DoorbellDropProb float64
+	// CQCapacity bounds the host completion queue; the device defers a
+	// completion post while the queue holds that many unconsumed
+	// entries (backpressure). Zero means unbounded, as in the paper.
+	CQCapacity int
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.DropCompletionProb > 0 || p.StragglerProb > 0 || p.DuplicateProb > 0 ||
+		p.TLPCorruptProb > 0 || p.LinkStallProb > 0 || p.DoorbellDropProb > 0 ||
+		p.CQCapacity > 0
+}
+
+// Validate reports the first implausible field, or nil.
+func (p Plan) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"drop-completion", p.DropCompletionProb},
+		{"straggler", p.StragglerProb},
+		{"duplicate", p.DuplicateProb},
+		{"TLP-corrupt", p.TLPCorruptProb},
+		{"link-stall", p.LinkStallProb},
+		{"doorbell-drop", p.DoorbellDropProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("fault: %s probability %v must be in [0,1]", pr.name, pr.v)
+		}
+	}
+	switch {
+	case p.StragglerFactor < 0 || (p.StragglerFactor > 0 && p.StragglerFactor < 1):
+		return fmt.Errorf("fault: straggler factor %v must be >= 1 (or 0 for the default)", p.StragglerFactor)
+	case p.LinkStallTime < 0:
+		return fmt.Errorf("fault: link stall time %v must be non-negative", p.LinkStallTime)
+	case p.CQCapacity < 0:
+		return fmt.Errorf("fault: completion-queue capacity %d must be non-negative", p.CQCapacity)
+	}
+	return nil
+}
+
+// Counters tallies the faults actually injected in one run, by layer.
+type Counters struct {
+	DroppedCompletions uint64
+	Stragglers         uint64
+	Duplicates         uint64
+	CorruptTLPs        uint64
+	LinkStalls         uint64
+	DroppedDoorbells   uint64
+	CQBackpressure     uint64
+}
+
+// Total returns the number of faults injected across all layers.
+func (c Counters) Total() uint64 {
+	return c.DroppedCompletions + c.Stragglers + c.Duplicates +
+		c.CorruptTLPs + c.LinkStalls + c.DroppedDoorbells + c.CQBackpressure
+}
+
+// Injector draws faults from a plan's seeded stream. A nil *Injector is
+// the disabled injector: every method returns the no-fault answer
+// without consuming randomness, so code can hold one unconditionally.
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+	c    Counters
+}
+
+// NewInjector returns an injector for the plan, or nil if the plan is
+// disabled — the nil return is what guarantees a zero-rate plan takes
+// exactly the fault-free code path.
+func NewInjector(p Plan) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	return &Injector{plan: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// draw consumes one uniform variate when prob is positive and reports a
+// hit. Guarding on prob keeps layers with zero probability from
+// perturbing the draw stream of active layers.
+func (in *Injector) draw(prob float64, hits *uint64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if in.rng.Float64() >= prob {
+		return false
+	}
+	*hits++
+	return true
+}
+
+// DropCompletion reports whether this response should be lost.
+func (in *Injector) DropCompletion() bool {
+	return in != nil && in.draw(in.plan.DropCompletionProb, &in.c.DroppedCompletions)
+}
+
+// Straggle returns the latency multiplier for this access and whether a
+// straggler was drawn (factor 1 otherwise).
+func (in *Injector) Straggle() (float64, bool) {
+	if in == nil || !in.draw(in.plan.StragglerProb, &in.c.Stragglers) {
+		return 1, false
+	}
+	f := in.plan.StragglerFactor
+	if f == 0 {
+		f = DefaultStragglerFactor
+	}
+	return f, true
+}
+
+// Duplicate reports whether this response should be delivered twice.
+func (in *Injector) Duplicate() bool {
+	return in != nil && in.draw(in.plan.DuplicateProb, &in.c.Duplicates)
+}
+
+// CorruptTLP reports whether this packet is corrupted and must be
+// replayed at the link level.
+func (in *Injector) CorruptTLP() bool {
+	return in != nil && in.draw(in.plan.TLPCorruptProb, &in.c.CorruptTLPs)
+}
+
+// LinkStall returns the stall this packet suffers before transmission
+// and whether one was drawn.
+func (in *Injector) LinkStall() (sim.Time, bool) {
+	if in == nil || !in.draw(in.plan.LinkStallProb, &in.c.LinkStalls) {
+		return 0, false
+	}
+	st := in.plan.LinkStallTime
+	if st == 0 {
+		st = DefaultLinkStallTime
+	}
+	return st, true
+}
+
+// DropDoorbell reports whether this doorbell write is lost at the
+// device.
+func (in *Injector) DropDoorbell() bool {
+	return in != nil && in.draw(in.plan.DoorbellDropProb, &in.c.DroppedDoorbells)
+}
+
+// CQFull reports whether a completion post must be deferred because the
+// host completion queue already holds depth unconsumed entries.
+func (in *Injector) CQFull(depth int) bool {
+	if in == nil || in.plan.CQCapacity <= 0 || depth < in.plan.CQCapacity {
+		return false
+	}
+	in.c.CQBackpressure++
+	return true
+}
+
+// Counters returns the faults injected so far (zero for nil).
+func (in *Injector) Counters() Counters {
+	if in == nil {
+		return Counters{}
+	}
+	return in.c
+}
+
+// AccessOutcome is the host-observed result of one on-demand access
+// under the analytic recovery model of HostAccessLatency.
+type AccessOutcome struct {
+	Latency   sim.Time // issue to data-usable, including recovery
+	Retries   int      // re-issues after a timeout
+	Timeouts  int      // timeouts that fired (== Retries unless abandoned)
+	Abandoned bool     // gave up after the retry budget; data zero-filled
+}
+
+// HostAccessLatency models one on-demand MMIO access with timeout/retry
+// recovery analytically, for the interval core model (which has no
+// event loop to run real timers in). Each attempt draws the device- and
+// PCIe-layer faults: a straggler multiplies the latency, a corrupt TLP
+// adds replayPenalty, a link stall adds its stall time. If the attempt's
+// response is dropped — or its latency exceeds the attempt's timeout —
+// the host waits out the timeout and retries, up to maxRetries times,
+// then abandons the access. timeout(attempt) supplies the per-attempt
+// (backed-off) timeout.
+func (in *Injector) HostAccessLatency(base, replayPenalty sim.Time, timeout func(attempt int) sim.Time, maxRetries int) AccessOutcome {
+	if in == nil {
+		return AccessOutcome{Latency: base}
+	}
+	var out AccessOutcome
+	var elapsed sim.Time
+	for attempt := 0; ; attempt++ {
+		lat := base
+		if f, ok := in.Straggle(); ok {
+			lat = sim.Time(float64(lat) * f)
+		}
+		if in.CorruptTLP() {
+			lat += replayPenalty
+		}
+		if st, ok := in.LinkStall(); ok {
+			lat += st
+		}
+		to := timeout(attempt)
+		if !in.DropCompletion() && lat <= to {
+			out.Latency = elapsed + lat
+			return out
+		}
+		out.Timeouts++
+		if attempt >= maxRetries {
+			out.Abandoned = true
+			out.Latency = elapsed + to
+			return out
+		}
+		out.Retries++
+		elapsed += to
+	}
+}

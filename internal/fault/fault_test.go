@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan reported enabled")
+	}
+	if (Plan{Seed: 42}).Enabled() {
+		t.Error("seed alone should not enable a plan")
+	}
+	enabled := []Plan{
+		{DropCompletionProb: 0.01},
+		{StragglerProb: 0.01},
+		{DuplicateProb: 0.01},
+		{TLPCorruptProb: 0.01},
+		{LinkStallProb: 0.01},
+		{DoorbellDropProb: 0.01},
+		{CQCapacity: 4},
+	}
+	for i, p := range enabled {
+		if !p.Enabled() {
+			t.Errorf("plan %d should be enabled: %+v", i, p)
+		}
+	}
+}
+
+func TestNewInjectorNilForDisabledPlan(t *testing.T) {
+	if in := NewInjector(Plan{Seed: 7}); in != nil {
+		t.Error("disabled plan produced a non-nil injector")
+	}
+	if in := NewInjector(Plan{DropCompletionProb: 0.5}); in == nil {
+		t.Error("enabled plan produced a nil injector")
+	}
+}
+
+func TestNilInjectorIsBenign(t *testing.T) {
+	var in *Injector
+	if in.DropCompletion() || in.Duplicate() || in.CorruptTLP() || in.DropDoorbell() {
+		t.Error("nil injector injected a fault")
+	}
+	if f, ok := in.Straggle(); ok || f != 1 {
+		t.Errorf("nil Straggle = (%v, %v), want (1, false)", f, ok)
+	}
+	if st, ok := in.LinkStall(); ok || st != 0 {
+		t.Errorf("nil LinkStall = (%v, %v), want (0, false)", st, ok)
+	}
+	if in.CQFull(1000) {
+		t.Error("nil CQFull reported backpressure")
+	}
+	if c := in.Counters(); c.Total() != 0 {
+		t.Errorf("nil Counters = %+v, want zero", c)
+	}
+	out := in.HostAccessLatency(sim.Microsecond, 0, func(int) sim.Time { return 16 * sim.Microsecond }, 4)
+	if out.Latency != sim.Microsecond || out.Retries != 0 || out.Abandoned {
+		t.Errorf("nil HostAccessLatency = %+v, want plain base latency", out)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		keyword string // empty: expect valid
+	}{
+		{"zero", Plan{}, ""},
+		{"typical", Plan{Seed: 1, DropCompletionProb: 0.01, CQCapacity: 8}, ""},
+		{"prob-high", Plan{DropCompletionProb: 1.5}, "probability"},
+		{"prob-negative", Plan{TLPCorruptProb: -0.1}, "probability"},
+		{"factor", Plan{StragglerProb: 0.1, StragglerFactor: 0.5}, "factor"},
+		{"stall", Plan{LinkStallProb: 0.1, LinkStallTime: -sim.Nanosecond}, "stall"},
+		{"cq", Plan{CQCapacity: -1}, "capacity"},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.keyword == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad plan", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.keyword) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.keyword)
+		}
+	}
+}
+
+func TestDrawsAreDeterministic(t *testing.T) {
+	plan := Plan{Seed: 99, DropCompletionProb: 0.3, StragglerProb: 0.2, TLPCorruptProb: 0.1}
+	seq := func() []bool {
+		in := NewInjector(plan)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.DropCompletion())
+			_, s := in.Straggle()
+			out = append(out, s)
+			out = append(out, in.CorruptTLP())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identically seeded injectors", i)
+		}
+	}
+	hits := 0
+	for _, v := range a {
+		if v {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("no faults drawn at substantial probabilities")
+	}
+}
+
+func TestZeroProbLayersDoNotConsumeStream(t *testing.T) {
+	// The drop sequence must be identical whether or not other layers
+	// exist at probability zero — per-layer guards keep the stream
+	// aligned.
+	seq := func(p Plan) []bool {
+		in := NewInjector(p)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			in.Straggle()
+			in.CorruptTLP()
+			out = append(out, in.DropCompletion())
+		}
+		return out
+	}
+	a := seq(Plan{Seed: 5, DropCompletionProb: 0.5})
+	b := seq(Plan{Seed: 5, DropCompletionProb: 0.5, StragglerProb: 0, TLPCorruptProb: 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d perturbed by zero-probability layers", i)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, DropCompletionProb: 1, CQCapacity: 2})
+	for i := 0; i < 5; i++ {
+		if !in.DropCompletion() {
+			t.Fatal("probability-1 drop did not fire")
+		}
+	}
+	if in.CQFull(1) {
+		t.Error("CQFull below capacity")
+	}
+	if !in.CQFull(2) || !in.CQFull(3) {
+		t.Error("CQFull at/above capacity did not report backpressure")
+	}
+	c := in.Counters()
+	if c.DroppedCompletions != 5 || c.CQBackpressure != 2 {
+		t.Errorf("counters = %+v, want 5 drops, 2 backpressure", c)
+	}
+}
+
+func TestHostAccessLatencyRecovery(t *testing.T) {
+	base := sim.Microsecond
+	timeout := func(attempt int) sim.Time {
+		to := 16 * sim.Microsecond
+		for i := 0; i < attempt; i++ {
+			to *= 2
+		}
+		return to
+	}
+
+	// Always-dropped completions: every attempt times out; after
+	// maxRetries the access is abandoned having waited out every
+	// backed-off timeout.
+	in := NewInjector(Plan{Seed: 1, DropCompletionProb: 1})
+	out := in.HostAccessLatency(base, 0, timeout, 2)
+	if !out.Abandoned || out.Retries != 2 || out.Timeouts != 3 {
+		t.Errorf("outcome = %+v, want abandoned after 2 retries, 3 timeouts", out)
+	}
+	want := timeout(0) + timeout(1) + timeout(2)
+	if out.Latency != want {
+		t.Errorf("latency = %v, want %v (sum of timeouts)", out.Latency, want)
+	}
+
+	// A straggler beyond the timeout is indistinguishable from a loss:
+	// the host retries until the backed-off timeout exceeds the
+	// straggler latency (timeout(3) = 128us > 100us here).
+	in = NewInjector(Plan{Seed: 1, StragglerProb: 1, StragglerFactor: 100})
+	first := in.HostAccessLatency(base, 0, timeout, 4)
+	if first.Retries != 3 || first.Abandoned {
+		t.Errorf("100x straggler outcome = %+v, want 3 retries then success", first)
+	}
+	if want := timeout(0) + timeout(1) + timeout(2) + 100*base; first.Latency != want {
+		t.Errorf("straggler latency = %v, want %v", first.Latency, want)
+	}
+
+	// Corrupt TLP: replay penalty lands on the latency, no retry.
+	in = NewInjector(Plan{Seed: 1, TLPCorruptProb: 1})
+	out = in.HostAccessLatency(base, 500*sim.Nanosecond, timeout, 4)
+	if out.Latency != base+500*sim.Nanosecond || out.Retries != 0 {
+		t.Errorf("corrupt-TLP outcome = %+v, want base+penalty, no retry", out)
+	}
+}

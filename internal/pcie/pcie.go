@@ -15,6 +15,7 @@
 package pcie
 
 import (
+	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -29,6 +30,7 @@ type Link struct {
 	down *sim.Server // host -> device
 	up   *sim.Server // device -> host
 	prop sim.Time
+	inj  *fault.Injector
 
 	downTotal  int64 // bytes including headers
 	downUseful int64 // payload bytes that applications asked for
@@ -49,6 +51,12 @@ func NewLink(eng *sim.Engine, cfg platform.Config) *Link {
 
 // Propagation returns the one-way propagation delay.
 func (l *Link) Propagation() sim.Time { return l.prop }
+
+// SetFaultInjector attaches a fault injector (nil disables injection).
+// Subsequent packets may suffer TLP corruption — a link-level replay
+// paying a second serialization plus the platform's replay penalty —
+// or a transient link stall delaying transmission.
+func (l *Link) SetFaultInjector(in *fault.Injector) { l.inj = in }
 
 // SendDown transmits a host-to-device packet with the given payload.
 // useful is the subset of payload bytes that is application data (zero
@@ -82,12 +90,22 @@ func (l *Link) send(dir *sim.Server, total, usefulAcc *int64, earliest sim.Time,
 	}
 	*total += int64(payload + l.cfg.PCIeHeaderBytes)
 	*usefulAcc += int64(useful)
+	svc := l.cfg.TLPTime(payload)
+	if l.inj.CorruptTLP() {
+		// The corrupted TLP is NAKed and replayed at the link level: the
+		// wire carries it twice, and recovery adds the replay penalty.
+		*total += int64(payload + l.cfg.PCIeHeaderBytes)
+		svc = 2*svc + l.cfg.PCIeReplayPenalty
+	}
+	if st, ok := l.inj.LinkStall(); ok && earliest < l.eng.Now()+st {
+		earliest = l.eng.Now() + st
+	}
 	// A packet with a future ready time is held at the sender until
 	// then; the link stays work-conserving for other traffic in the
 	// meantime (only the delay module uses future ready times, and its
 	// delay is device-internal, not wire occupancy).
 	submit := func() {
-		_, end := dir.Submit(l.cfg.TLPTime(payload))
+		_, end := dir.Submit(svc)
 		l.eng.At(end+l.prop, done)
 	}
 	if earliest > l.eng.Now() {

@@ -12,6 +12,7 @@ package platform
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -225,6 +226,38 @@ type Config struct {
 	// queue when no threads are ready (§IV-B: "The scheduler polls the
 	// completion queue only when no threads remain in the ready state").
 	CompletionPoll sim.Time
+
+	// ---- Fault injection and recovery (robustness extension) ----
+
+	// Faults is the deterministic fault plan injected into the device,
+	// PCIe, and software-queue layers. The zero value injects nothing
+	// and leaves every code path exactly as the fault-free model.
+	Faults fault.Plan
+
+	// AccessTimeout is the host's per-access timeout before a retry;
+	// zero selects the automatic default of 16 x DeviceLatency (see
+	// EffectiveAccessTimeout). NVMe-class stacks use timeouts well
+	// above the typical latency so clean tail accesses never retry.
+	AccessTimeout sim.Time
+
+	// RetryBackoffFactor multiplies the timeout on each successive
+	// retry of one access (exponential backoff).
+	RetryBackoffFactor float64
+
+	// MaxRetries bounds the retries per access; past it the access is
+	// abandoned and the host delivers a zero-filled line (graceful
+	// degradation, accounted in Diagnostics).
+	MaxRetries int
+
+	// PCIeReplayPenalty is the link-level recovery cost of a corrupted
+	// TLP beyond its retransmission time: the replay-buffer turnaround
+	// of the data-link layer.
+	PCIeReplayPenalty sim.Time
+
+	// CQBackpressureDelay is how long the device defers a completion
+	// post when the host completion queue is at the fault plan's
+	// capacity bound.
+	CQBackpressureDelay sim.Time
 }
 
 // Default returns the calibrated configuration of the paper's testbed
@@ -264,6 +297,10 @@ func Default() Config {
 		InterruptCost:           1 * sim.Microsecond,
 		SMTContexts:             2,
 		DeviceLatencyTailFactor: 10,
+		RetryBackoffFactor:      2,
+		MaxRetries:              4,
+		PCIeReplayPenalty:       500 * sim.Nanosecond,
+		CQBackpressureDelay:     200 * sim.Nanosecond,
 	}
 }
 
@@ -361,8 +398,37 @@ func (c Config) InternalDelayFor(latency sim.Time) sim.Time {
 	return d
 }
 
+// EffectiveAccessTimeout returns the per-access recovery timeout: the
+// configured AccessTimeout, or 16 x DeviceLatency when unset — far
+// enough above the Ext.-tail outliers (10x) that a clean slow access
+// never triggers a spurious retry.
+func (c Config) EffectiveAccessTimeout() sim.Time {
+	if c.AccessTimeout > 0 {
+		return c.AccessTimeout
+	}
+	return 16 * c.DeviceLatency
+}
+
+// RetryTimeout returns the timeout for the attempt-th try of one access
+// (attempt 0 is the initial issue), growing by RetryBackoffFactor per
+// retry.
+func (c Config) RetryTimeout(attempt int) sim.Time {
+	t := float64(c.EffectiveAccessTimeout())
+	f := c.RetryBackoffFactor
+	if f < 1 {
+		f = 1
+	}
+	for i := 0; i < attempt; i++ {
+		t *= f
+	}
+	return sim.Time(t)
+}
+
 // Validate reports the first implausible field, or nil.
 func (c Config) Validate() error {
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	switch {
 	case c.CPUFreqGHz <= 0:
 		return fmt.Errorf("platform: CPU frequency %v GHz must be positive", c.CPUFreqGHz)
@@ -424,6 +490,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: latency tail probability %v must be in [0,1]", c.DeviceLatencyTailProb)
 	case c.DeviceLatencyTailProb > 0 && c.DeviceLatencyTailFactor < 1:
 		return fmt.Errorf("platform: latency tail factor %v must be >= 1", c.DeviceLatencyTailFactor)
+	case c.AccessTimeout < 0:
+		return fmt.Errorf("platform: access timeout %v must be non-negative", c.AccessTimeout)
+	case c.RetryBackoffFactor < 1:
+		return fmt.Errorf("platform: retry backoff factor %v must be >= 1", c.RetryBackoffFactor)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("platform: max retries %d must be non-negative", c.MaxRetries)
+	case c.PCIeReplayPenalty < 0:
+		return fmt.Errorf("platform: PCIe replay penalty %v must be non-negative", c.PCIeReplayPenalty)
+	case c.CQBackpressureDelay < 0:
+		return fmt.Errorf("platform: CQ backpressure delay %v must be non-negative", c.CQBackpressureDelay)
 	}
 	return nil
 }

@@ -175,6 +175,14 @@ func TestValidateCatchesEachBadField(t *testing.T) {
 		{"smt", func(c *Config) { c.SMTContexts = 0 }, "SMT contexts"},
 		{"tail-prob", func(c *Config) { c.DeviceLatencyTailProb = 1.5 }, "tail probability"},
 		{"tail-factor", func(c *Config) { c.DeviceLatencyTailProb = 0.1; c.DeviceLatencyTailFactor = 0.5 }, "tail factor"},
+		{"access-timeout", func(c *Config) { c.AccessTimeout = -1 }, "access timeout"},
+		{"backoff", func(c *Config) { c.RetryBackoffFactor = 0.5 }, "backoff"},
+		{"retries", func(c *Config) { c.MaxRetries = -1 }, "max retries"},
+		{"replay-penalty", func(c *Config) { c.PCIeReplayPenalty = -1 }, "replay penalty"},
+		{"cq-delay", func(c *Config) { c.CQBackpressureDelay = -1 }, "backpressure"},
+		{"fault-prob", func(c *Config) { c.Faults.DropCompletionProb = 2 }, "probability"},
+		{"fault-stall", func(c *Config) { c.Faults.LinkStallTime = -1 }, "stall"},
+		{"fault-cq", func(c *Config) { c.Faults.CQCapacity = -1 }, "capacity"},
 	}
 	for _, m := range mutations {
 		c := Default()
@@ -187,5 +195,29 @@ func TestValidateCatchesEachBadField(t *testing.T) {
 		if !strings.Contains(err.Error(), m.keyword) {
 			t.Errorf("%s: error %q does not mention %q", m.name, err, m.keyword)
 		}
+	}
+}
+
+func TestRecoveryTimeouts(t *testing.T) {
+	c := Default() // 1us device, backoff 2
+	if got := c.EffectiveAccessTimeout(); got != 16*sim.Microsecond {
+		t.Errorf("auto timeout = %v, want 16us (16x device latency)", got)
+	}
+	c.AccessTimeout = 5 * sim.Microsecond
+	if got := c.EffectiveAccessTimeout(); got != 5*sim.Microsecond {
+		t.Errorf("explicit timeout = %v, want 5us", got)
+	}
+	if got := c.RetryTimeout(0); got != 5*sim.Microsecond {
+		t.Errorf("RetryTimeout(0) = %v, want the base timeout", got)
+	}
+	if got := c.RetryTimeout(3); got != 40*sim.Microsecond {
+		t.Errorf("RetryTimeout(3) = %v, want 40us (x2 backoff)", got)
+	}
+	// The auto default must clear the Ext.-tail outliers (10x) so clean
+	// slow accesses never retry.
+	d := Default()
+	tail := sim.Time(float64(d.DeviceLatency) * d.DeviceLatencyTailFactor)
+	if d.EffectiveAccessTimeout() <= tail {
+		t.Errorf("auto timeout %v not above the %v latency tail", d.EffectiveAccessTimeout(), tail)
 	}
 }

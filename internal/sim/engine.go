@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 )
 
 // event is a single scheduled callback.
@@ -44,7 +45,8 @@ type Engine struct {
 	events   eventHeap
 	seq      uint64
 	executed uint64
-	procs    int // live processes, for leak detection
+	procs    int     // live processes, for leak detection
+	started  []*Proc // every process ever started, for stuck-process reports
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -113,3 +115,29 @@ func (e *Engine) Pending() int { return len(e.events) }
 // not yet returned. A non-zero value after Run indicates a process
 // blocked forever (a modeling bug analogous to a goroutine leak).
 func (e *Engine) LiveProcs() int { return e.procs }
+
+// LiveProcNames returns the diagnostic names of processes that have not
+// yet returned, in start order.
+func (e *Engine) LiveProcNames() []string {
+	var names []string
+	for _, p := range e.started {
+		if !p.done {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}
+
+// RunChecked is Run with a quiescence watchdog: if the event queue
+// drains while processes are still blocked — a lost wakeup that a bare
+// Run would silently swallow, leaving the caller with a truncated
+// simulation — it reports which named processes are stuck. The returned
+// time is valid either way.
+func (e *Engine) RunChecked() (Time, error) {
+	t := e.Run()
+	if e.procs > 0 {
+		return t, fmt.Errorf("sim: quiescent with %d process(es) still blocked: %s",
+			e.procs, strings.Join(e.LiveProcNames(), ", "))
+	}
+	return t, nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -428,5 +429,110 @@ func TestProcParallelSleepProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRunCheckedReportsStuckProcByName is the regression test for the
+// silent-hang failure mode: a process blocked on a gate nobody fires
+// must be reported by name instead of being silently abandoned.
+func TestRunCheckedReportsStuckProcByName(t *testing.T) {
+	e := NewEngine()
+	g := e.NewGate() // never fired
+	e.Go("stuck-core7", func(p *Proc) {
+		p.Wait(g)
+	})
+	e.Go("healthy", func(p *Proc) {
+		p.Sleep(5 * Nanosecond)
+	})
+	_, err := e.RunChecked()
+	if err == nil {
+		t.Fatal("RunChecked returned nil for a deadlocked process")
+	}
+	if !strings.Contains(err.Error(), "stuck-core7") {
+		t.Errorf("error %q does not name the stuck process", err)
+	}
+	if strings.Contains(err.Error(), "healthy") {
+		t.Errorf("error %q names a process that exited cleanly", err)
+	}
+	if e.LiveProcs() != 1 {
+		t.Errorf("LiveProcs = %d, want 1", e.LiveProcs())
+	}
+	if names := e.LiveProcNames(); len(names) != 1 || names[0] != "stuck-core7" {
+		t.Errorf("LiveProcNames = %v, want [stuck-core7]", names)
+	}
+}
+
+func TestRunCheckedCleanRun(t *testing.T) {
+	e := NewEngine()
+	e.Go("worker", func(p *Proc) { p.Sleep(3 * Nanosecond) })
+	end, err := e.RunChecked()
+	if err != nil {
+		t.Fatalf("RunChecked on a clean run: %v", err)
+	}
+	if end != 3*Nanosecond {
+		t.Errorf("final time %v, want 3ns", end)
+	}
+}
+
+func TestWaitTimeoutGateFiresFirst(t *testing.T) {
+	e := NewEngine()
+	g := e.NewGate()
+	var fired bool
+	var at Time
+	e.Go("p", func(p *Proc) {
+		fired = p.WaitTimeout(g, 100*Nanosecond)
+		at = p.Now()
+	})
+	e.At(30*Nanosecond, func() { g.Fire() })
+	if _, err := e.RunChecked(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || at != 30*Nanosecond {
+		t.Errorf("fired=%v at %v, want gate win at 30ns", fired, at)
+	}
+}
+
+func TestWaitTimeoutTimerFiresFirst(t *testing.T) {
+	e := NewEngine()
+	g := e.NewGate()
+	var fired bool
+	var at Time
+	e.Go("p", func(p *Proc) {
+		fired = p.WaitTimeout(g, 25*Nanosecond)
+		at = p.Now()
+		// The gate firing later must not resume the process a second
+		// time (the proc continues and exits normally).
+		p.Sleep(100 * Nanosecond)
+	})
+	e.At(60*Nanosecond, func() { g.Fire() })
+	if _, err := e.RunChecked(); err != nil {
+		t.Fatal(err)
+	}
+	if fired || at != 25*Nanosecond {
+		t.Errorf("fired=%v at %v, want timeout at 25ns", fired, at)
+	}
+}
+
+func TestWaitTimeoutAlreadyFiredAndNonPositive(t *testing.T) {
+	e := NewEngine()
+	g := e.NewGate()
+	g2 := e.NewGate()
+	var results []bool
+	var at Time
+	e.Go("p", func(p *Proc) {
+		g.Fire()
+		results = append(results, p.WaitTimeout(g, 50*Nanosecond)) // already fired
+		results = append(results, p.WaitTimeout(g2, 0))            // non-blocking check
+		results = append(results, p.WaitTimeout(g2, -Nanosecond))
+		at = p.Now()
+	})
+	if _, err := e.RunChecked(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || !results[0] || results[1] || results[2] {
+		t.Errorf("results = %v, want [true false false]", results)
+	}
+	if at != 0 {
+		t.Errorf("non-blocking calls advanced time to %v", at)
 	}
 }

@@ -31,6 +31,7 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		park: make(chan struct{}),
 	}
 	e.procs++
+	e.started = append(e.started, p)
 	// The process body starts executing when this event fires; until its
 	// first blocking call it runs inline within the event.
 	e.At(e.now, func() {
@@ -104,6 +105,38 @@ func (p *Proc) Wait(g *Gate) {
 	}
 	g.onFire(p.resume())
 	p.block()
+}
+
+// WaitTimeout blocks the process until g fires or d elapses, whichever
+// comes first, and reports whether the gate fired. If g has already
+// fired it returns true immediately; d <= 0 checks the gate without
+// blocking. The losing wakeup (late gate fire or stale timer) is
+// discarded, so the process resumes exactly once.
+func (p *Proc) WaitTimeout(g *Gate, d Time) bool {
+	if g.fired {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	woken, fired := false, false
+	resume := p.resume()
+	g.onFire(func() {
+		if woken {
+			return
+		}
+		woken, fired = true, true
+		resume()
+	})
+	p.eng.At(p.eng.now+d, func() {
+		if woken {
+			return
+		}
+		woken = true
+		resume()
+	})
+	p.block()
+	return fired
 }
 
 // Gate is a one-shot event that processes and callbacks can wait on.

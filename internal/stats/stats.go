@@ -19,6 +19,11 @@ type Measurement struct {
 	Accesses       int     // device/DRAM accesses performed
 	WorkInstr      float64 // work instructions retired
 	ElapsedSeconds float64 // simulated wall time
+
+	// Recovery accounting under fault injection (zero otherwise).
+	Retries   uint64 // accesses re-issued after a timeout
+	Timeouts  uint64 // access timeouts that fired
+	Abandoned uint64 // accesses given up after the retry budget
 }
 
 // WorkIPS returns work instructions retired per second of simulated

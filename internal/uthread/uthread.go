@@ -67,6 +67,7 @@ type Thread struct {
 	res      chan [][]byte
 	started  bool
 	finished bool
+	last     Request // most recent request, for Resume payload checks
 }
 
 // New creates a thread that will run body; the body does not start
@@ -100,14 +101,19 @@ func (t *Thread) Start() Request {
 }
 
 // Resume delivers the data for the previous request (nil for KindWork)
-// and runs the body to its next request. Resuming a finished thread
-// panics.
+// and runs the body to its next request. Resuming a finished thread, or
+// answering an access batch with the wrong number of lines (the body
+// would index out of range or silently read a sibling's data), panics.
 func (t *Thread) Resume(data [][]byte) Request {
 	if !t.started {
 		panic(fmt.Sprintf("uthread: thread %d resumed before start", t.id))
 	}
 	if t.finished {
 		panic(fmt.Sprintf("uthread: thread %d resumed after done", t.id))
+	}
+	if t.last.Kind == KindAccess && len(data) != len(t.last.Addrs) {
+		panic(fmt.Sprintf("uthread: thread %d access batch of %d addresses resumed with %d lines",
+			t.id, len(t.last.Addrs), len(data)))
 	}
 	t.res <- data
 	return t.next()
@@ -118,6 +124,7 @@ func (t *Thread) next() Request {
 	if r.Kind == KindDone {
 		t.finished = true
 	}
+	t.last = r
 	return r
 }
 
