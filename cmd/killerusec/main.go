@@ -9,6 +9,7 @@
 //	killerusec -fig 5 -iters 8000
 //	killerusec -table1           # the paper's Table I (taxonomy)
 //	killerusec -list             # list experiment IDs
+//	killerusec -fig 4 -quick -trace fig4.json  # Perfetto trace of every run
 package main
 
 import (
@@ -21,23 +22,25 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions")
-		all     = flag.Bool("all", false, "run every paper experiment (figures + ablations)")
-		ext     = flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
-		faults  = flag.Bool("faults", false, "run the fault-injection / recovery experiment family")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		quick   = flag.Bool("quick", false, "reduced sweep (faster, coarser)")
-		iters   = flag.Int("iters", 0, "override microbenchmark iterations per core")
-		lookups = flag.Int("lookups", 0, "override application lookups per core")
-		threads = flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8,16")
-		replay  = flag.Bool("replay", true, "use the two-run record/replay methodology for applications")
-		table1  = flag.Bool("table1", false, "print the paper's Table I and exit")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		outdir  = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+		fig      = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions")
+		all      = flag.Bool("all", false, "run every paper experiment (figures + ablations)")
+		ext      = flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
+		faults   = flag.Bool("faults", false, "run the fault-injection / recovery experiment family")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		quick    = flag.Bool("quick", false, "reduced sweep (faster, coarser)")
+		iters    = flag.Int("iters", 0, "override microbenchmark iterations per core")
+		lookups  = flag.Int("lookups", 0, "override application lookups per core")
+		threads  = flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8,16")
+		replay   = flag.Bool("replay", true, "use the two-run record/replay methodology for applications")
+		table1   = flag.Bool("table1", false, "print the paper's Table I and exit")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		outdir   = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every measured run to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +48,8 @@ func main() {
 		fmt.Println("paper:      2 3 4 5 6 7 8 9 10 10a 10b 10c 10d")
 		fmt.Println("ablations:  lfb chipq rule switch swqopts")
 		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality faults")
+		fmt.Println("families:   -all (paper) -ext (extensions) -faults (fault injection/recovery)")
+		fmt.Println("modes:      -quick -csv -outdir <dir> -trace <file> (Perfetto trace of every run)")
 		return
 	}
 	if *table1 {
@@ -91,6 +96,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Tracing attaches one recorder to the whole invocation: every
+	// measured run lands as its own process in a single Perfetto file.
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		suite.Base.Trace = rec
+	}
+
 	var tables []*stats.Table
 	switch {
 	case *all && *ext:
@@ -127,6 +140,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "killerusec:", err)
 			os.Exit(1)
 		}
+	}
+	if rec != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "killerusec:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "killerusec: wrote %d trace events (%d runs) to %s\n",
+			rec.Events(), rec.Runs(), *traceOut)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func tinySuite() experiments.Suite {
@@ -62,6 +63,43 @@ func TestWriteCSVs(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "work instructions per access,") {
 		t.Errorf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+// TestTracedSweep exercises the -trace wiring: attaching a recorder to
+// the suite's base config makes every measured run of a figure land in
+// the recorder as its own schema-valid process.
+func TestTracedSweep(t *testing.T) {
+	s := tinySuite()
+	rec := trace.NewRecorder()
+	s.Base.Trace = rec
+	tables := runOne(s, "4")
+	if len(tables) == 0 {
+		t.Fatal("runOne(4) returned nothing")
+	}
+	if rec.Runs() == 0 || rec.Events() == 0 {
+		t.Fatalf("traced sweep recorded %d runs / %d events", rec.Runs(), rec.Events())
+	}
+	path := filepath.Join(t.TempDir(), "fig4.json")
+	if err := rec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := trace.ReadSummary(f)
+	if err != nil {
+		t.Fatalf("sweep trace fails schema validation: %v", err)
+	}
+	if len(sum.Runs) != rec.Runs() {
+		t.Errorf("parsed %d runs, recorder has %d", len(sum.Runs), rec.Runs())
+	}
+	for _, rs := range sum.Runs {
+		if rs.OpenSpans != 0 {
+			t.Errorf("run %q left %d spans open", rs.Label, rs.OpenSpans)
+		}
 	}
 }
 

@@ -8,6 +8,8 @@
 //	kurec record -workload bfs -out trace      # record one trace per core
 //	kurec info trace.core0
 //	kurec verify trace.core0                   # replay in order, check it drains
+//	kurec trace -mech swqueue -out swq.json    # Perfetto trace + span summary
+//	kurec trace -in swq.json                   # validate an exported trace
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -36,6 +38,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -47,7 +51,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCmdTraceWritesValidFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, mech := range []string{"ondemand", "prefetch", "swqueue", "kernelq"} {
+		out := filepath.Join(dir, mech+".json")
+		if err := cmdTrace([]string{"-mech", mech, "-lookups", "40", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := trace.ReadSummary(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: exported trace fails validation: %v", mech, err)
+		}
+		if len(sum.Runs) != 1 || sum.Runs[0].Spans == 0 {
+			t.Errorf("%s: summary %+v, want one run with spans", mech, sum)
+		}
+		// The -in path must accept what -out produced.
+		if err := cmdTrace([]string{"-in", out}); err != nil {
+			t.Errorf("%s: -in rejected our own file: %v", mech, err)
+		}
+	}
+}
+
+func TestCmdTraceRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mech", "telepathy"},
+		{"-cores", "0"},
+		{"-threads", "0"},
+		{"-lookups", "0"},
+		{"-workload", "nope"},
+	} {
+		if err := cmdTrace(args); err == nil {
+			t.Errorf("cmdTrace(%v) accepted bad flags", args)
+		}
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"Z"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-in", bad}); err == nil {
+		t.Error("-in accepted a malformed trace")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -135,7 +136,7 @@ func TestSpuriousRequestDuringReplayRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.eng.At(5*sim.Microsecond, func() {
-		e.dev.MMIORead(0, 0xDEAD0000, func([]byte) {})
+		e.dev.MMIORead(0, 0xDEAD0000, trace.Span{}, func([]byte) {})
 	})
 	m.Reset()
 	c, err := launch(e, m, 4, runPrefetchCore)

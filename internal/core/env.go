@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/device"
@@ -11,6 +11,8 @@ import (
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // env is one assembled simulation platform: engine, DRAM, PCIe link,
@@ -30,6 +32,16 @@ type env struct {
 	// recovery code paths only when it is non-nil, which keeps
 	// zero-rate runs bit-identical to fault-free ones.
 	faults *fault.Injector
+
+	// tr is nil unless the config attaches a trace recorder; the
+	// mechanisms record access spans only when it is non-nil, mirroring
+	// the faults idiom so disabled tracing costs one nil check.
+	tr     *trace.Run
+	trCore []trace.Track // per-core access-span tracks
+
+	// Pre-rendered per-core counter-track names, so the state-change
+	// hooks never format strings on the hot path.
+	sqName, cqName, runnableName []string
 }
 
 func newEnv(cfg platform.Config, backing replay.Backing) *env {
@@ -80,9 +92,11 @@ type counters struct {
 	switches  uint64
 	finish    sim.Time // time the last core finished
 
-	// per-access host-observed latency samples (issue to data-usable),
-	// for the percentile diagnostics
-	latencies []sim.Time
+	// per-access host-observed latency samples (issue to data-usable)
+	// in a bounded log-bucketed histogram, for the percentile
+	// diagnostics; memory is bounded by the latency range, not the
+	// access count
+	latencies *stats.Histogram
 
 	// recovery accounting (fault-injection runs only)
 	retries   uint64 // accesses re-issued after a timeout
@@ -107,7 +121,10 @@ type OccupancySample struct {
 }
 
 func (c *counters) recordLatency(l sim.Time) {
-	c.latencies = append(c.latencies, l)
+	if c.latencies == nil {
+		c.latencies = stats.NewHistogram()
+	}
+	c.latencies.Record(int64(l))
 }
 
 func (c *counters) coreFinished(at sim.Time) {
@@ -138,10 +155,25 @@ type Diagnostics struct {
 
 	// Host-observed per-access latency percentiles, in nanoseconds:
 	// from request issue/submission until the data is usable by the
-	// thread. Zero if no accesses were sampled.
+	// thread, computed from the bounded log-bucketed histogram (within
+	// ~0.4% of the exact sample percentiles). Zero if no accesses were
+	// sampled.
 	AccessP50Ns  float64
 	AccessP99Ns  float64
 	AccessP999Ns float64
+
+	// Time-weighted mean occupancy of the paper's bottleneck queues:
+	// LFB slots summed across cores, and the chip-level MMIO queue.
+	MeanLFBOccupancy  float64
+	MeanChipOccupancy float64
+
+	// Simulation-effort and trace-overhead accounting: engine events
+	// executed, events left pending after the run (non-zero only on an
+	// aborted run), and trace events this run recorded (zero with
+	// tracing disabled).
+	SimEvents   uint64
+	SimPending  int
+	TraceEvents uint64
 
 	// Recovery accounting under fault injection: host-side retries,
 	// timeouts, and abandoned accesses, plus the faults the injector
@@ -172,7 +204,12 @@ func (e *env) diagnostics(c *counters) Diagnostics {
 			d.MaxLFB = pool.MaxInUse()
 		}
 		d.LFBStalls += pool.Stalls()
+		d.MeanLFBOccupancy += pool.MeanOccupancy()
 	}
+	d.MeanChipOccupancy = e.chip.MeanOccupancy()
+	d.SimEvents = e.eng.Executed()
+	d.SimPending = e.eng.Pending()
+	d.TraceEvents = e.tr.Events()
 	d.Writes = c.writes
 	var hits, lookups uint64
 	for _, cc := range e.caches {
@@ -190,9 +227,9 @@ func (e *env) diagnostics(c *counters) Diagnostics {
 	if c.finish > 0 {
 		d.UpstreamGBps = float64(up.UsefulBytes) / c.finish.Seconds() / 1e9
 	}
-	d.AccessP50Ns = percentileNs(c.latencies, 0.50)
-	d.AccessP99Ns = percentileNs(c.latencies, 0.99)
-	d.AccessP999Ns = percentileNs(c.latencies, 0.999)
+	d.AccessP50Ns = sim.Time(c.latencies.Quantile(0.50)).Nanoseconds()
+	d.AccessP99Ns = sim.Time(c.latencies.Quantile(0.99)).Nanoseconds()
+	d.AccessP999Ns = sim.Time(c.latencies.Quantile(0.999)).Nanoseconds()
 	d.Retries = c.retries
 	d.Timeouts = c.timeouts
 	d.Abandoned = c.abandoned
@@ -226,20 +263,46 @@ func (e *env) startSampler(c *counters) {
 	e.eng.After(e.cfg.SamplePeriod, tick)
 }
 
-// percentileNs returns the q-quantile of the samples in nanoseconds
-// (nearest-rank), or 0 with no samples. The sample slice is sorted in
-// place.
-func percentileNs(samples []sim.Time, q float64) float64 {
-	if len(samples) == 0 {
-		return 0
+// startTrace attaches the environment to the config's trace recorder
+// (a no-op when tracing is disabled): one trace run labeled for this
+// measurement, one access-span track per core, TLP timelines on both
+// link directions, and occupancy counter tracks for every bottleneck
+// queue. The hooks only record state the simulation already computes —
+// they never schedule events, so traced and untraced runs are
+// timing-identical.
+func (e *env) startTrace(label string) {
+	if e.cfg.Trace == nil {
+		return
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := int(q*float64(len(samples))) - 1
-	if idx < 0 {
-		idx = 0
+	e.tr = e.cfg.Trace.NewRun(label)
+	cores := e.cfg.Cores
+	e.trCore = make([]trace.Track, cores)
+	for i := 0; i < cores; i++ {
+		e.trCore[i] = e.tr.NewTrack(fmt.Sprintf("core%d", i))
 	}
-	if idx >= len(samples) {
-		idx = len(samples) - 1
+	e.link.SetTrace(e.tr.NewTrack("pcie-down"), e.tr.NewTrack("pcie-up"))
+
+	// Occupancy counter tracks, sampled on state change. Names are
+	// pre-rendered so the hot-path hooks never call fmt.
+	e.sqName = make([]string, cores)
+	e.cqName = make([]string, cores)
+	e.runnableName = make([]string, cores)
+	for i := 0; i < cores; i++ {
+		i := i
+		lfbName := fmt.Sprintf("lfb/core%d", i)
+		e.sqName[i] = fmt.Sprintf("sq/core%d", i)
+		e.cqName[i] = fmt.Sprintf("cq/core%d", i)
+		e.runnableName[i] = fmt.Sprintf("runnable/core%d", i)
+		e.tr.Counter(0, lfbName, 0)
+		e.tr.Counter(0, e.sqName[i], 0)
+		e.tr.Counter(0, e.cqName[i], 0)
+		e.tr.Counter(0, e.runnableName[i], 0)
+		e.lfb[i].SetOnChange(func(inUse int) {
+			e.tr.Counter(e.eng.Now(), lfbName, inUse)
+		})
 	}
-	return samples[idx].Nanoseconds()
+	e.tr.Counter(0, "chipq", 0)
+	e.chip.SetOnChange(func(inUse int) {
+		e.tr.Counter(e.eng.Now(), "chipq", inUse)
+	})
 }

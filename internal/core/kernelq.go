@@ -4,6 +4,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uthread"
 )
 
@@ -33,6 +34,11 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 	}()
 
 	ready := uthread.NewFIFO()
+	if e.tr != nil {
+		rq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.sqName[coreID], n) }
+		cq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.cqName[coreID], n) }
+		ready.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.runnableName[coreID], n) }
+	}
 	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
 	waiting := make(map[uint64]descWait)
 	for _, th := range threads {
@@ -72,6 +78,7 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 				}
 				delete(waiting, compl.ID)
 				c.recordLatency(compl.Posted - w.submitted)
+				w.sp.End(compl.Posted)
 				st := states[w.th]
 				st.data[w.slot] = ep.Data(compl.ID)
 				st.remaining--
@@ -116,11 +123,16 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
 				target := responseTarget(coreID, th.ID(), i)
-				id := rq.Push(addr, target, p.Now())
+				var sp trace.Span
+				if e.tr != nil {
+					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
+				}
+				id := rq.PushSpan(addr, target, p.Now(), sp)
 				waiting[id] = descWait{
 					th: th, slot: i, submitted: p.Now(),
 					addr: addr, target: target,
 					deadline: p.Now() + e.cfg.RetryTimeout(0),
+					sp:       sp,
 				}
 			}
 			p.Sleep(e.cfg.DoorbellMMIO)

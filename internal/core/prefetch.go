@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uthread"
 )
 
@@ -29,6 +30,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 	}
 	rr := uthread.NewRoundRobin(threads)
 	var cur *uthread.Thread
+	if e.tr != nil {
+		e.tr.Counter(p.Now(), e.runnableName[coreID], rr.Live())
+	}
 
 	for {
 		th := rr.Next()
@@ -105,10 +109,18 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 					}
 				}
 
+				// The access span opens at prefetch issue, before any
+				// queue wait, so LFB stalls are visible in its shape.
+				var sp trace.Span
+				if e.tr != nil {
+					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
+				}
+
 				// prefetcht0: allocate an LFB entry; a full pool stalls
 				// the core until an entry frees — the 10-entry limit of
 				// §V-B.
 				p.AcquireToken(e.lfb[coreID])
+				sp.Point(p.Now(), "lfb-acquired")
 				p.Sleep(e.cfg.PrefetchIssue)
 				c.accesses++
 
@@ -121,7 +133,8 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				// hardware queues, not on the core.
 				if e.faults == nil {
 					e.chip.OnAcquire(func() {
-						e.dev.MMIORead(coreID, addr, func(data []byte) {
+						sp.Point(e.eng.Now(), "chipq-acquired")
+						e.dev.MMIORead(coreID, addr, sp, func(data []byte) {
 							pa.data[i] = data
 							if cc := e.caches[coreID]; cc != nil {
 								cc.Insert(addr, data)
@@ -129,6 +142,7 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 							e.chip.Release()
 							lfb.Release()
 							g.Fire()
+							sp.End(e.eng.Now())
 						})
 					})
 					continue
@@ -155,10 +169,11 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 					e.chip.Release()
 					lfb.Release()
 					g.Fire()
+					sp.End(e.eng.Now())
 				}
 				var attempt func(n int)
 				attempt = func(n int) {
-					e.dev.MMIORead(coreID, addr, func(data []byte) {
+					e.dev.MMIORead(coreID, addr, sp, func(data []byte) {
 						finish(data, true)
 					})
 					e.eng.After(e.cfg.RetryTimeout(n), func() {
@@ -166,19 +181,28 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 							return
 						}
 						c.timeouts++
+						sp.Point(e.eng.Now(), "timeout")
 						if n >= e.cfg.MaxRetries {
 							c.abandoned++
+							sp.Point(e.eng.Now(), "abandoned")
 							finish(make([]byte, platform.CacheLineBytes), false)
 							return
 						}
 						c.retries++
+						sp.Point(e.eng.Now(), "retry")
 						attempt(n + 1)
 					})
 				}
-				e.chip.OnAcquire(func() { attempt(0) })
+				e.chip.OnAcquire(func() {
+					sp.Point(e.eng.Now(), "chipq-acquired")
+					attempt(0)
+				})
 			}
 			pending[th] = pa
 			// userctx_yield(): fall through to the scheduler.
+		} else if e.tr != nil {
+			// The thread just finished; record the shrunk runnable set.
+			e.tr.Counter(p.Now(), e.runnableName[coreID], rr.Live())
 		}
 	}
 	c.coreFinished(p.Now())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/uthread"
 )
 
@@ -47,12 +48,37 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	trace := w.BaselineTrace(0)
+	iters := w.BaselineTrace(0)
 	inj := fault.NewInjector(cfg.Faults)
-	r := cpu.DeviceOnDemandFaulty(cfg, trace, inj)
+	label := fmt.Sprintf("ondemand/%s lat=%v", w.Name(), cfg.DeviceLatency)
+
+	// The analytic interval model has no engine events to hook, so the
+	// trace layer synthesizes one access span per load from the model's
+	// per-load observer; the observer never affects timing.
+	var run *trace.Run
+	var observe cpu.LoadObserver
+	if cfg.Trace != nil {
+		run = cfg.Trace.NewRun(label)
+		tk := run.NewTrack("core0")
+		observe = func(issue, complete sim.Time, out fault.AccessOutcome) {
+			sp := tk.BeginSpan(issue, "access", "")
+			if out.Timeouts > 0 {
+				sp.Point(complete, "timeout")
+			}
+			if out.Retries > 0 {
+				sp.Point(complete, "retry")
+			}
+			if out.Abandoned {
+				sp.Point(complete, "abandoned")
+			}
+			sp.End(complete)
+		}
+	}
+
+	r := cpu.DeviceOnDemandObserved(cfg, iters, inj, observe)
 	res := Result{Measurement: stats.Measurement{
-		Label:          fmt.Sprintf("ondemand/%s lat=%v", w.Name(), cfg.DeviceLatency),
-		Iterations:     len(trace),
+		Label:          label,
+		Iterations:     len(iters),
 		Accesses:       r.Accesses,
 		WorkInstr:      float64(r.WorkInstr),
 		ElapsedSeconds: r.Elapsed.Seconds(),
@@ -64,9 +90,13 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 	res.Diag.Timeouts = uint64(r.Timeouts)
 	res.Diag.Abandoned = uint64(r.Abandoned)
 	res.Diag.Faults = inj.Counters()
-	res.Diag.AccessP50Ns = percentileNs(r.Latencies, 0.50)
-	res.Diag.AccessP99Ns = percentileNs(r.Latencies, 0.99)
-	res.Diag.AccessP999Ns = percentileNs(r.Latencies, 0.999)
+	res.Diag.TraceEvents = run.Events()
+	res.Diag.AccessP50Ns = sim.Time(r.Latencies.Quantile(0.50)).Nanoseconds()
+	res.Diag.AccessP99Ns = sim.Time(r.Latencies.Quantile(0.99)).Nanoseconds()
+	res.Diag.AccessP999Ns = sim.Time(r.Latencies.Quantile(0.999)).Nanoseconds()
+	res.Measurement.AccessP50Ns = res.Diag.AccessP50Ns
+	res.Measurement.AccessP99Ns = res.Diag.AccessP99Ns
+	res.Measurement.AccessP999Ns = res.Diag.AccessP999Ns
 	return res, nil
 }
 
@@ -101,10 +131,11 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 	e := newEnv(cfg, w.Backing())
 	if useReplay {
 		// Recording run: same execution, device in capture mode. Faults
-		// are stripped so the captured trace stays clean — injection
-		// belongs to the measured run only.
+		// and tracing are stripped so the captured trace stays clean and
+		// the trace file shows only the measured run.
 		recCfg := cfg
 		recCfg.Faults = fault.Plan{}
+		recCfg.Trace = nil
 		rec := newEnv(recCfg, w.Backing())
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			rec.dev.EnableRecording(coreID)
@@ -119,22 +150,30 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		}
 	}
 
+	label := fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
+		mech, w.Name(), cfg.DeviceLatency, cfg.Cores, threadsPerCore)
+	e.startTrace(label)
 	c, err := launch(e, w, threadsPerCore, run)
 	if err != nil {
 		return Result{}, err
 	}
+	diag := e.diagnostics(c)
 	return Result{
 		Measurement: stats.Measurement{
-			Label: fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
-				mech, w.Name(), cfg.DeviceLatency, cfg.Cores, threadsPerCore),
-			Accesses:       c.accesses,
-			WorkInstr:      float64(c.workInstr),
-			ElapsedSeconds: c.finish.Seconds(),
-			Retries:        c.retries,
-			Timeouts:       c.timeouts,
-			Abandoned:      c.abandoned,
+			Label:             label,
+			Accesses:          c.accesses,
+			WorkInstr:         float64(c.workInstr),
+			ElapsedSeconds:    c.finish.Seconds(),
+			Retries:           c.retries,
+			Timeouts:          c.timeouts,
+			Abandoned:         c.abandoned,
+			AccessP50Ns:       diag.AccessP50Ns,
+			AccessP99Ns:       diag.AccessP99Ns,
+			AccessP999Ns:      diag.AccessP999Ns,
+			MeanLFBOccupancy:  diag.MeanLFBOccupancy,
+			MeanChipOccupancy: diag.MeanChipOccupancy,
 		},
-		Diag: e.diagnostics(c),
+		Diag: diag,
 	}, nil
 }
 
@@ -164,6 +203,7 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 		return nil, fmt.Errorf("core: threadsPerCore %d must be positive", threadsPerCore)
 	}
 	cfg.Faults = fault.Plan{}
+	cfg.Trace = nil // recordings capture clean traces, never trace events
 	e := newEnv(cfg, w.Backing())
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		e.dev.EnableRecording(coreID)

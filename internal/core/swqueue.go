@@ -7,6 +7,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uthread"
 )
 
@@ -31,6 +32,7 @@ type descWait struct {
 	target    uint64
 	attempts  int
 	deadline  sim.Time
+	sp        trace.Span // access-lifecycle span; survives resubmission
 }
 
 // minDeadline returns the earliest recovery deadline among outstanding
@@ -73,10 +75,13 @@ func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.S
 		}
 		delete(waiting, id)
 		c.timeouts++
+		w.sp.Point(p.Now(), "timeout")
 		if w.attempts >= e.cfg.MaxRetries {
 			// Out of budget: abandon with a zero-filled line.
 			c.abandoned++
 			c.recordLatency(p.Now() - w.submitted)
+			w.sp.Point(p.Now(), "abandoned")
+			w.sp.End(p.Now())
 			st := states[w.th]
 			st.data[w.slot] = make([]byte, platform.CacheLineBytes)
 			st.remaining--
@@ -90,7 +95,8 @@ func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.S
 		p.Sleep(e.cfg.SWQPerAccessOverhead)
 		w.attempts++
 		w.deadline = p.Now() + e.cfg.RetryTimeout(w.attempts)
-		newID := rq.Push(w.addr, w.target, p.Now())
+		w.sp.Point(p.Now(), "retry")
+		newID := rq.PushSpan(w.addr, w.target, p.Now(), w.sp)
 		waiting[newID] = w
 		resubmitted = true
 	}
@@ -114,6 +120,14 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 	defer ep.Stop()
 
 	ready := uthread.NewFIFO()
+	if e.tr != nil {
+		// Depth timelines, sampled on every state change. The hooks read
+		// the engine clock directly because queue transitions happen in
+		// both core and device contexts.
+		rq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.sqName[coreID], n) }
+		cq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.cqName[coreID], n) }
+		ready.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.runnableName[coreID], n) }
+	}
 	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
 	waiting := make(map[uint64]descWait)
 	for _, th := range threads {
@@ -159,6 +173,7 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 				}
 				delete(waiting, compl.ID)
 				c.recordLatency(compl.Posted - w.submitted)
+				w.sp.End(compl.Posted)
 				st := states[w.th]
 				st.data[w.slot] = ep.Data(compl.ID)
 				st.remaining--
@@ -227,11 +242,16 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
 				target := responseTarget(coreID, th.ID(), i)
-				id := rq.Push(addr, target, p.Now())
+				var sp trace.Span
+				if e.tr != nil {
+					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
+				}
+				id := rq.PushSpan(addr, target, p.Now(), sp)
 				waiting[id] = descWait{
 					th: th, slot: i, submitted: p.Now(),
 					addr: addr, target: target,
 					deadline: p.Now() + e.cfg.RetryTimeout(0),
+					sp:       sp,
 				}
 			}
 			// Ring the doorbell only if the device asked for it (or on

@@ -24,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // IterSpec is one iteration of the demand-access loop: Reads independent
@@ -59,11 +60,21 @@ type OnDemandResult struct {
 	WorkInstr int64
 
 	// Recovery accounting, populated only by fault-aware runs.
-	Retries   int        // re-issues after an access timeout
-	Timeouts  int        // timeouts that fired
-	Abandoned int        // accesses given up after the retry budget
-	Latencies []sim.Time // per-access observed latency incl. recovery
+	Retries   int // re-issues after an access timeout
+	Timeouts  int // timeouts that fired
+	Abandoned int // accesses given up after the retry budget
+
+	// Latencies holds the per-access observed latencies (including any
+	// recovery) in a bounded log-bucketed histogram of picosecond
+	// values.
+	Latencies *stats.Histogram
 }
+
+// LoadObserver receives one completed load's lifecycle: its issue and
+// completion times plus the recovery accounting of its latency draw.
+// Observers must be pure recorders — the interval model's timing does
+// not depend on them.
+type LoadObserver func(issue, complete sim.Time, out fault.AccessOutcome)
 
 // iterRecord is the retirement bookkeeping for one completed iteration,
 // kept so later iterations can ask "when had the core retired x
@@ -90,14 +101,16 @@ type iterRecord struct {
 // prior work has drained; the iteration's work then occupies the core
 // for WorkInstr/WorkIPC cycles.
 func RunOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOutstanding int, issueGap sim.Time) OnDemandResult {
-	return runOnDemand(cfg, trace, latency, maxOutstanding, issueGap, nil)
+	return runOnDemand(cfg, trace, latency, maxOutstanding, issueGap, nil, nil)
 }
 
-// runOnDemand is RunOnDemand with an optional per-load fault draw: when
-// draw is non-nil each load's latency (including any timeout/retry
-// recovery) comes from one draw, in issue order, so fault-aware runs
-// stay deterministic.
-func runOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOutstanding int, issueGap sim.Time, draw func() fault.AccessOutcome) OnDemandResult {
+// runOnDemand is RunOnDemand with an optional per-load fault draw and an
+// optional per-load observer: when draw is non-nil each load's latency
+// (including any timeout/retry recovery) comes from one draw, in issue
+// order, so fault-aware runs stay deterministic; when observe is non-nil
+// it is called once per load with the load's issue/completion times (the
+// trace layer's access spans for the analytic mechanism).
+func runOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOutstanding int, issueGap sim.Time, draw func() fault.AccessOutcome, observe LoadObserver) OnDemandResult {
 	if maxOutstanding > cfg.LFBPerCore {
 		// A single core can never have more misses in flight than LFBs.
 		maxOutstanding = cfg.LFBPerCore
@@ -164,6 +177,9 @@ func runOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOut
 
 		issue := maxTime(maxTime(windowReady, slotReady), lastIssue)
 		lastIssue = issue
+		if res.Latencies == nil {
+			res.Latencies = stats.NewHistogram()
+		}
 		// The batch's loads complete staggered by the memory's issue
 		// gap; the dependent work waits for the last of them. Under
 		// fault injection each load's latency is its own recovery-
@@ -171,17 +187,21 @@ func runOnDemand(cfg platform.Config, trace []IterSpec, latency sim.Time, maxOut
 		loadDone := make([]sim.Time, k)
 		for i := 0; i < k; i++ {
 			lat := latency
+			out := fault.AccessOutcome{Latency: lat}
 			if draw != nil {
-				out := draw()
+				out = draw()
 				lat = out.Latency
 				res.Retries += out.Retries
 				res.Timeouts += out.Timeouts
 				if out.Abandoned {
 					res.Abandoned++
 				}
-				res.Latencies = append(res.Latencies, out.Latency)
 			}
+			res.Latencies.Record(int64(out.Latency))
 			loadDone[i] = issue + lat + sim.Time(i)*issueGap
+			if observe != nil {
+				observe(issue, loadDone[i], out)
+			}
 		}
 		complete := loadDone[0]
 		for _, t := range loadDone[1:] {
@@ -246,15 +266,24 @@ func DeviceOnDemand(cfg platform.Config, trace []IterSpec) OnDemandResult {
 // recovery model (device stragglers and drops, PCIe corruption and
 // stalls), with the platform's backed-off per-attempt timeouts.
 func DeviceOnDemandFaulty(cfg platform.Config, trace []IterSpec, inj *fault.Injector) OnDemandResult {
-	if inj == nil {
-		return DeviceOnDemand(cfg, trace)
-	}
+	return DeviceOnDemandObserved(cfg, trace, inj, nil)
+}
+
+// DeviceOnDemandObserved is DeviceOnDemandFaulty with a per-load
+// observer: observe (when non-nil) receives every load's issue and
+// completion times, letting the trace layer synthesize access-lifecycle
+// spans for the analytic on-demand mechanism, which has no engine events
+// to hook. The observer never affects timing.
+func DeviceOnDemandObserved(cfg platform.Config, trace []IterSpec, inj *fault.Injector, observe LoadObserver) OnDemandResult {
 	limit := cfg.ChipQueueMMIO
 	if cfg.LFBPerCore < limit {
 		limit = cfg.LFBPerCore
 	}
-	draw := func() fault.AccessOutcome {
-		return inj.HostAccessLatency(cfg.DeviceLatency, cfg.PCIeReplayPenalty, cfg.RetryTimeout, cfg.MaxRetries)
+	var draw func() fault.AccessOutcome
+	if inj != nil {
+		draw = func() fault.AccessOutcome {
+			return inj.HostAccessLatency(cfg.DeviceLatency, cfg.PCIeReplayPenalty, cfg.RetryTimeout, cfg.MaxRetries)
+		}
 	}
-	return runOnDemand(cfg, trace, cfg.DeviceLatency, limit, 0, draw)
+	return runOnDemand(cfg, trace, cfg.DeviceLatency, limit, 0, draw, observe)
 }

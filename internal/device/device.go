@@ -29,6 +29,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // OnDemandDRAMLatency is the access latency of the dataset copy in the
@@ -195,26 +196,33 @@ func (d *Device) WritesServed() uint64 { return d.writesServed }
 
 // MMIORead performs one memory-mapped cache-line read on behalf of
 // coreID, starting now (the issue time at the core). done receives the
-// line when the response has fully arrived back at the host.
+// line when the response has fully arrived back at the host. sp is the
+// access-lifecycle trace span the read belongs to (the zero Span when
+// tracing is off); the device stamps its serve/fault edges on it.
 //
 // The delay module targets an end-to-end latency of exactly
 // cfg.DeviceLatency, inclusive of the PCIe round trip (§IV-A); link
 // congestion or an on-demand-module detour can only push the response
 // later, never earlier.
-func (d *Device) MMIORead(coreID int, addr uint64, done func(data []byte)) {
+func (d *Device) MMIORead(coreID int, addr uint64, sp trace.Span, done func(data []byte)) {
 	issue := d.eng.Now()
 	latency := d.effectiveLatency()
 	if f, ok := d.inj.Straggle(); ok {
 		latency = sim.Time(float64(latency) * f)
+		sp.Point(issue, "fault-straggle")
 	}
 	// Read-request TLP travels downstream (header only).
 	d.link.SendDown(0, 0, func() {
+		sp.Point(d.eng.Now(), "req-at-device")
 		data, fromReplay := d.serve(coreID, addr)
 		// The delay module timestamps the request and computes when the
 		// response must leave so it lands at issue + latency.
 		sendAt := issue + latency - d.link.Propagation() - d.cfg.TLPTime(platform.CacheLineBytes)
-		if !fromReplay {
+		if fromReplay {
+			sp.Point(d.eng.Now(), "serve-replay")
+		} else {
 			// On-demand detour: the dataset DRAM read must finish first.
+			sp.Point(d.eng.Now(), "serve-ondemand")
 			earliest := d.eng.Now() + OnDemandDRAMLatency
 			if earliest > sendAt {
 				sendAt = earliest
@@ -225,8 +233,10 @@ func (d *Device) MMIORead(coreID int, addr uint64, done func(data []byte)) {
 		}
 		if d.inj.DropCompletion() {
 			// Response lost in the device; the host's timeout recovers.
+			sp.Point(d.eng.Now(), "fault-drop")
 			return
 		}
+		sp.Point(sendAt, "resp-sent")
 		respond := func() {
 			d.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
 				done(data)
@@ -235,6 +245,7 @@ func (d *Device) MMIORead(coreID int, addr uint64, done func(data []byte)) {
 		respond()
 		if d.inj.Duplicate() {
 			// Spurious second response; the host must tolerate it.
+			sp.Point(sendAt, "fault-duplicate")
 			respond()
 		}
 	})

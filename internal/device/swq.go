@@ -4,6 +4,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SWQEndpoint is the device side of the application-managed
@@ -177,10 +178,17 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 			e.processWrite(desc, arrival)
 			continue
 		}
+		desc.Span.Point(arrival, "desc-fetched")
 		data, fromReplay := e.dev.serve(e.coreID, desc.Addr)
+		if fromReplay {
+			desc.Span.Point(arrival, "serve-replay")
+		} else {
+			desc.Span.Point(arrival, "serve-ondemand")
+		}
 		lat := e.dev.effectiveLatency()
 		if f, ok := e.dev.inj.Straggle(); ok {
 			lat = sim.Time(float64(lat) * f)
+			desc.Span.Point(arrival, "fault-straggle")
 		}
 		// The delay module times responses off the descriptor's
 		// submission timestamp, so the emulated latency is measured
@@ -198,34 +206,39 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 		}
 		if e.dev.inj.DropCompletion() {
 			// Both writes lost; the host's descriptor timeout resubmits.
+			desc.Span.Point(arrival, "fault-drop")
 			continue
 		}
+		desc.Span.Point(sendAt, "resp-sent")
 		// Response-data write TLP, then host DRAM write.
 		e.dev.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
 			dataLanded := e.dev.eng.NewGate()
 			e.dev.hostDRAM.Write(dataLanded)
 			dataLanded.OnFire(func() {
 				e.data[desc.ID] = data
+				desc.Span.Point(e.dev.eng.Now(), "data-landed")
 			})
 		})
 		// Completion write queues behind the data write on the upstream
 		// link, guaranteeing host-visible ordering.
-		e.sendCompletion(sendAt, desc.ID)
+		e.sendCompletion(sendAt, desc.ID, desc.Span)
 		if e.dev.inj.Duplicate() {
 			// Spurious second completion; the host scheduler discards
 			// entries for descriptors it no longer tracks.
-			e.sendCompletion(sendAt, desc.ID)
+			desc.Span.Point(sendAt, "fault-duplicate")
+			e.sendCompletion(sendAt, desc.ID, desc.Span)
 		}
 	}
 }
 
 // sendCompletion carries one completion entry upstream and lands it in
-// the host completion queue.
-func (e *SWQEndpoint) sendCompletion(sendAt sim.Time, id uint64) {
+// the host completion queue, stamping the landing on the access span.
+func (e *SWQEndpoint) sendCompletion(sendAt sim.Time, id uint64, sp trace.Span) {
 	e.dev.link.SendUpAt(sendAt, e.dev.cfg.CompletionBytes, 0, func() {
 		complLanded := e.dev.eng.NewGate()
 		e.dev.hostDRAM.Write(complLanded)
 		complLanded.OnFire(func() {
+			sp.Point(e.dev.eng.Now(), "completion-posted")
 			e.postCompletion(id)
 		})
 	})

@@ -6,6 +6,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func TestMMIOWritePosted(t *testing.T) {
@@ -116,7 +117,7 @@ func TestMMIOReadTailLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	var done sim.Time
-	r.dev.MMIORead(0, 0, func([]byte) { done = r.eng.Now() })
+	r.dev.MMIORead(0, 0, trace.Span{}, func([]byte) { done = r.eng.Now() })
 	r.eng.Run()
 	want := sim.Time(float64(cfg.DeviceLatency) * cfg.DeviceLatencyTailFactor)
 	if done != want {

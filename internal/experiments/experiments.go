@@ -183,6 +183,7 @@ func (s Suite) Fig5() *stats.Table {
 	}
 	wl := s.ubench(1, workload.DefaultWorkCount)
 	maxChip := 0
+	meanChip := 0.0
 	for _, lat := range latencies {
 		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
 		for _, cores := range []int{1, 2, 4, 8} {
@@ -194,10 +195,13 @@ func (s Suite) Fig5() *stats.Table {
 				if r.Diag.MaxChipQueue > maxChip {
 					maxChip = r.Diag.MaxChipQueue
 				}
+				if r.Diag.MeanChipOccupancy > meanChip {
+					meanChip = r.Diag.MeanChipOccupancy
+				}
 			}
 		}
 	}
-	t.Note("peak chip-level queue occupancy observed: %d (paper: 14)", maxChip)
+	t.Note("chip-level queue occupancy observed: peak %d, best time-weighted mean %.1f (paper: limit 14)", maxChip, meanChip)
 	return t
 }
 

@@ -10,7 +10,10 @@
 // host-core model and the device's request fetchers.
 package hostmem
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // Descriptor is one software-queue request: "Each descriptor contains
 // the address to read, and the target address where the response data is
@@ -21,6 +24,11 @@ type Descriptor struct {
 	Target    uint64 // host-memory address for the response/source data
 	Write     bool   // write-path extension (§VII): Target holds the data to store
 	Submitted sim.Time
+
+	// Span is the access-lifecycle trace span riding along with the
+	// descriptor so the device side can stamp fetch/serve/completion
+	// edges. The zero Span (tracing disabled) is a no-op.
+	Span trace.Span
 }
 
 // Completion is one completion-queue entry; the device guarantees it is
@@ -44,6 +52,10 @@ type RequestQueue struct {
 
 	submitted uint64
 	maxDepth  int
+
+	// OnChange, when set, observes every pending-depth change — the
+	// trace layer's SQ-depth timeline. It must not mutate the queue.
+	OnChange func(n int)
 }
 
 // NewRequestQueue returns an empty queue with the doorbell-request flag
@@ -55,22 +67,31 @@ func NewRequestQueue() *RequestQueue {
 // Push appends a read descriptor for the given device address, stamping
 // it with the submission time, and returns its ID.
 func (q *RequestQueue) Push(addr, target uint64, now sim.Time) uint64 {
-	return q.push(addr, target, now, false)
+	return q.push(addr, target, now, false, trace.Span{})
+}
+
+// PushSpan is Push carrying an access-lifecycle trace span, so the
+// device side can stamp fetch/serve/completion edges on it.
+func (q *RequestQueue) PushSpan(addr, target uint64, now sim.Time, sp trace.Span) uint64 {
+	return q.push(addr, target, now, false, sp)
 }
 
 // PushWrite appends a write descriptor (§VII extension): the device
 // will fetch the line at target from host memory and store it at addr.
 func (q *RequestQueue) PushWrite(addr, target uint64, now sim.Time) uint64 {
-	return q.push(addr, target, now, true)
+	return q.push(addr, target, now, true, trace.Span{})
 }
 
-func (q *RequestQueue) push(addr, target uint64, now sim.Time, write bool) uint64 {
+func (q *RequestQueue) push(addr, target uint64, now sim.Time, write bool, sp trace.Span) uint64 {
 	id := q.nextID
 	q.nextID++
-	q.pending = append(q.pending, Descriptor{ID: id, Addr: addr, Target: target, Write: write, Submitted: now})
+	q.pending = append(q.pending, Descriptor{ID: id, Addr: addr, Target: target, Write: write, Submitted: now, Span: sp})
 	q.submitted++
 	if len(q.pending) > q.maxDepth {
 		q.maxDepth = len(q.pending)
+	}
+	if q.OnChange != nil {
+		q.OnChange(len(q.pending))
 	}
 	return id
 }
@@ -89,6 +110,9 @@ func (q *RequestQueue) PopBurst(max int) []Descriptor {
 	burst := make([]Descriptor, n)
 	copy(burst, q.pending[:n])
 	q.pending = q.pending[:copy(q.pending, q.pending[n:])]
+	if q.OnChange != nil {
+		q.OnChange(len(q.pending))
+	}
 	return burst
 }
 
@@ -119,6 +143,10 @@ type CompletionQueue struct {
 	posted   uint64
 	drained  uint64
 	maxDepth int
+
+	// OnChange, when set, observes every depth change — the trace
+	// layer's CQ-depth timeline. It must not mutate the queue.
+	OnChange func(n int)
 }
 
 // NewCompletionQueue returns an empty completion queue.
@@ -133,6 +161,9 @@ func (q *CompletionQueue) Post(id uint64, now sim.Time) {
 	if len(q.entries) > q.maxDepth {
 		q.maxDepth = len(q.entries)
 	}
+	if q.OnChange != nil {
+		q.OnChange(len(q.entries))
+	}
 }
 
 // Drain removes and returns all pending completions (host-side poll).
@@ -144,6 +175,9 @@ func (q *CompletionQueue) Drain() []Completion {
 	copy(out, q.entries)
 	q.drained += uint64(len(out))
 	q.entries = q.entries[:0]
+	if q.OnChange != nil {
+		q.OnChange(0)
+	}
 	return out
 }
 

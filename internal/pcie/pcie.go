@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Link is a full-duplex PCIe link: two independent directions, each
@@ -31,6 +32,9 @@ type Link struct {
 	up   *sim.Server // device -> host
 	prop sim.Time
 	inj  *fault.Injector
+
+	trDown trace.Track // TLP slice timeline, host -> device
+	trUp   trace.Track // TLP slice timeline, device -> host
 
 	downTotal  int64 // bytes including headers
 	downUseful int64 // payload bytes that applications asked for
@@ -58,54 +62,70 @@ func (l *Link) Propagation() sim.Time { return l.prop }
 // or a transient link stall delaying transmission.
 func (l *Link) SetFaultInjector(in *fault.Injector) { l.inj = in }
 
+// SetTrace attaches per-direction trace tracks; every TLP transmission
+// is then recorded as a complete slice (with its wire occupancy) and
+// injected link faults as instants. Zero tracks disable recording.
+func (l *Link) SetTrace(down, up trace.Track) {
+	l.trDown = down
+	l.trUp = up
+}
+
 // SendDown transmits a host-to-device packet with the given payload.
 // useful is the subset of payload bytes that is application data (zero
 // for protocol traffic such as read requests and doorbells). done fires
 // when the packet has fully arrived at the device.
 func (l *Link) SendDown(payload, useful int, done func()) {
-	l.send(l.down, &l.downTotal, &l.downUseful, l.eng.Now(), payload, useful, done)
+	l.send(l.down, l.trDown, &l.downTotal, &l.downUseful, l.eng.Now(), payload, useful, done)
 }
 
 // SendUp transmits a device-to-host packet; done fires on full arrival
 // at the host.
 func (l *Link) SendUp(payload, useful int, done func()) {
-	l.send(l.up, &l.upTotal, &l.upUseful, l.eng.Now(), payload, useful, done)
+	l.send(l.up, l.trUp, &l.upTotal, &l.upUseful, l.eng.Now(), payload, useful, done)
 }
 
 // SendUpAt is SendUp for a packet that becomes ready for transmission
 // only at the given future time — the delay module's precisely timed
 // responses (§IV-A).
 func (l *Link) SendUpAt(earliest sim.Time, payload, useful int, done func()) {
-	l.send(l.up, &l.upTotal, &l.upUseful, earliest, payload, useful, done)
+	l.send(l.up, l.trUp, &l.upTotal, &l.upUseful, earliest, payload, useful, done)
 }
 
 // SendDownAt is SendDown with a future transmission-ready time.
 func (l *Link) SendDownAt(earliest sim.Time, payload, useful int, done func()) {
-	l.send(l.down, &l.downTotal, &l.downUseful, earliest, payload, useful, done)
+	l.send(l.down, l.trDown, &l.downTotal, &l.downUseful, earliest, payload, useful, done)
 }
 
-func (l *Link) send(dir *sim.Server, total, usefulAcc *int64, earliest sim.Time, payload, useful int, done func()) {
+func (l *Link) send(dir *sim.Server, tr trace.Track, total, usefulAcc *int64, earliest sim.Time, payload, useful int, done func()) {
 	if useful > payload {
 		panic("pcie: useful bytes exceed payload")
 	}
 	*total += int64(payload + l.cfg.PCIeHeaderBytes)
 	*usefulAcc += int64(useful)
 	svc := l.cfg.TLPTime(payload)
+	name := "tlp"
 	if l.inj.CorruptTLP() {
 		// The corrupted TLP is NAKed and replayed at the link level: the
 		// wire carries it twice, and recovery adds the replay penalty.
 		*total += int64(payload + l.cfg.PCIeHeaderBytes)
 		svc = 2*svc + l.cfg.PCIeReplayPenalty
+		name = "tlp-replay"
 	}
 	if st, ok := l.inj.LinkStall(); ok && earliest < l.eng.Now()+st {
 		earliest = l.eng.Now() + st
+		tr.Instant(l.eng.Now(), "fault-link-stall", "")
+	}
+	var args string
+	if tr.Active() {
+		args = trace.Int("payload", int64(payload)) + "," + trace.Int("bytes", int64(payload+l.cfg.PCIeHeaderBytes))
 	}
 	// A packet with a future ready time is held at the sender until
 	// then; the link stays work-conserving for other traffic in the
 	// meantime (only the delay module uses future ready times, and its
 	// delay is device-internal, not wire occupancy).
 	submit := func() {
-		_, end := dir.Submit(svc)
+		start, end := dir.Submit(svc)
+		tr.Slice(start, end, name, args)
 		l.eng.At(end+l.prop, done)
 	}
 	if earliest > l.eng.Now() {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CacheLineBytes is the transfer granularity of fine-grained accesses:
@@ -152,6 +153,14 @@ type Config struct {
 	// into the run's diagnostics. Zero disables sampling (the default;
 	// it is observability, not modeling).
 	SamplePeriod sim.Time
+
+	// Trace, when non-nil, records every run into the given event
+	// recorder: per-access lifecycle spans, occupancy timelines sampled
+	// on state change, and PCIe TLP slices, exportable as Chrome
+	// trace-event / Perfetto JSON. Nil (the default) disables tracing
+	// with zero overhead and leaves every simulated timing untouched —
+	// traced and untraced runs produce identical measurements.
+	Trace *trace.Recorder
 
 	// DescriptorBytes is the size of one software-queue request
 	// descriptor: "the address to read, and the target address where

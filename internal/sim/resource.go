@@ -23,6 +23,10 @@ type TokenPool struct {
 	stalls     uint64 // acquires that had to wait
 	lastChange Time
 	occupancy  float64 // time-weighted occupancy integral, token-ps
+
+	// onChange, when set, observes every occupancy change (tracing).
+	// It must not schedule events or otherwise perturb the simulation.
+	onChange func(inUse int)
 }
 
 // NewTokenPool creates a pool with the given capacity. Capacity must be
@@ -73,12 +77,21 @@ func (t *TokenPool) TryAcquire() bool {
 	return true
 }
 
+// SetOnChange installs an observer invoked synchronously after every
+// occupancy change with the new in-use count. Used by the trace layer to
+// sample occupancy timelines on state change; a nil observer disables
+// it. The observer must not schedule events.
+func (t *TokenPool) SetOnChange(fn func(inUse int)) { t.onChange = fn }
+
 func (t *TokenPool) grant() {
 	t.account()
 	t.inUse++
 	t.acquires++
 	if t.inUse > t.maxInUse {
 		t.maxInUse = t.inUse
+	}
+	if t.onChange != nil {
+		t.onChange(t.inUse)
 	}
 }
 
@@ -102,6 +115,9 @@ func (t *TokenPool) Release() {
 	}
 	t.account()
 	t.inUse--
+	if t.onChange != nil {
+		t.onChange(t.inUse)
+	}
 	if len(t.waiters) > 0 {
 		fn := t.waiters[0]
 		t.waiters = t.waiters[:copy(t.waiters, t.waiters[1:])]

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank quantile over the raw samples — the
+// reference the histogram's bucketed answer is held to.
+func exactQuantile(samples []int64, q float64) int64 {
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q * float64(len(sorted)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramQuantileWithinOnePercent(t *testing.T) {
+	// Latency-like mixture: a tight cluster around 1us (in ps), a tail
+	// of retries near 10us, and a few ms-scale stragglers.
+	rng := rand.New(rand.NewSource(42))
+	var samples []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(1_000_000 + rng.Intn(200_000))
+		switch {
+		case i%100 == 0:
+			v = int64(10_000_000 + rng.Intn(2_000_000))
+		case i%1000 == 0:
+			v = int64(1_000_000_000 + rng.Intn(500_000_000))
+		}
+		samples = append(samples, v)
+	}
+	h := NewHistogram()
+	for _, v := range samples {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := exactQuantile(samples, q)
+		diff := float64(got-want) / float64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.01 {
+			t.Errorf("Quantile(%v) = %d, exact %d: off by %.2f%% (>1%%)",
+				q, got, want, diff*100)
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 256; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 127 {
+		t.Errorf("median of 0..255 = %d, want 127 (values < 256 are exact)", got)
+	}
+	if h.Min() != 0 || h.Max() != 255 {
+		t.Errorf("min/max = %d/%d, want 0/255", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := NewHistogram()
+	// A pathological spread — ps to hours — must stay in a few thousand
+	// buckets, unlike the unbounded per-sample slice it replaced.
+	for v := int64(1); v > 0 && v < int64(1)<<62; v *= 3 {
+		h.Record(v)
+	}
+	if n := h.Buckets(); n > 8000 {
+		t.Errorf("%d buckets for a full-range spread; want bounded (<=8000)", n)
+	}
+}
+
+func TestHistogramQuantileClampedToObservedRange(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1_000_003)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1_000_003 {
+			t.Errorf("Quantile(%v) of a single sample = %d, want the sample", q, got)
+		}
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Error("nil histogram must answer zero")
+	}
+	if NewHistogram().Quantile(0.99) != 0 {
+		t.Error("empty histogram must answer zero")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("negative samples should clamp to 0: min=%d p50=%d", h.Min(), h.Quantile(0.5))
+	}
+}

@@ -24,6 +24,20 @@ type Measurement struct {
 	Retries   uint64 // accesses re-issued after a timeout
 	Timeouts  uint64 // access timeouts that fired
 	Abandoned uint64 // accesses given up after the retry budget
+
+	// Host-observed per-access latency percentiles in nanoseconds, from
+	// the bounded log-bucketed histogram (zero when no accesses were
+	// sampled).
+	AccessP50Ns  float64
+	AccessP99Ns  float64
+	AccessP999Ns float64
+
+	// Time-weighted mean occupancy of the paper's two bottleneck queues
+	// over the run: Line Fill Buffer slots summed across cores, and the
+	// chip-level MMIO queue. Zero for runs without an engine (the
+	// analytic on-demand model).
+	MeanLFBOccupancy  float64
+	MeanChipOccupancy float64
 }
 
 // WorkIPS returns work instructions retired per second of simulated

@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Summary condenses a trace into per-run span and counter statistics —
+// the payload of `kurec trace` and of the CI schema check. It can be
+// computed directly from a live Recorder or parsed back from an exported
+// JSON file; both paths produce the same numbers.
+type Summary struct {
+	Events int
+	Runs   []RunSummary
+}
+
+// RunSummary aggregates one run (one trace process).
+type RunSummary struct {
+	Label          string
+	Tracks         []string // thread-track names, in creation order
+	Spans          int      // completed access spans
+	OpenSpans      int      // spans begun but never ended
+	Points         int      // span edges ('n' events)
+	Slices         int      // complete slices ('X', e.g. PCIe TLPs)
+	Instants       int
+	CounterTracks  []string // distinct counter names, sorted
+	CounterSamples int
+
+	// Completed-span duration statistics, picoseconds.
+	MinDurPs   int64
+	MaxDurPs   int64
+	TotalDurPs int64
+
+	// PointCounts tallies span edges by name ("lfb-acquired",
+	// "timeout", ...), the per-access lifecycle breakdown.
+	PointCounts map[string]int
+}
+
+// MeanDurPs returns the mean completed-span duration in picoseconds.
+func (rs RunSummary) MeanDurPs() int64 {
+	if rs.Spans == 0 {
+		return 0
+	}
+	return rs.TotalDurPs / int64(rs.Spans)
+}
+
+// summaryBuilder accumulates one run's summary as events stream by.
+type summaryBuilder struct {
+	rs   RunSummary
+	open map[uint64]int64 // span id -> begin ts (ps)
+	ctr  map[string]bool
+}
+
+func newSummaryBuilder() *summaryBuilder {
+	return &summaryBuilder{
+		open: map[uint64]int64{},
+		ctr:  map[string]bool{},
+		rs:   RunSummary{PointCounts: map[string]int{}},
+	}
+}
+
+func (b *summaryBuilder) begin(id uint64, ts int64) { b.open[id] = ts }
+
+func (b *summaryBuilder) point(name string) {
+	b.rs.Points++
+	b.rs.PointCounts[name]++
+}
+
+func (b *summaryBuilder) end(id uint64, ts int64) error {
+	begin, ok := b.open[id]
+	if !ok {
+		return fmt.Errorf("span end for id %d without a begin", id)
+	}
+	delete(b.open, id)
+	dur := ts - begin
+	if dur < 0 {
+		return fmt.Errorf("span %d ends %dps before it begins", id, -dur)
+	}
+	if b.rs.Spans == 0 || dur < b.rs.MinDurPs {
+		b.rs.MinDurPs = dur
+	}
+	if dur > b.rs.MaxDurPs {
+		b.rs.MaxDurPs = dur
+	}
+	b.rs.TotalDurPs += dur
+	b.rs.Spans++
+	return nil
+}
+
+func (b *summaryBuilder) counter(name string) {
+	b.rs.CounterSamples++
+	b.ctr[name] = true
+}
+
+func (b *summaryBuilder) finish() RunSummary {
+	b.rs.OpenSpans = len(b.open)
+	for name := range b.ctr {
+		b.rs.CounterTracks = append(b.rs.CounterTracks, name)
+	}
+	sort.Strings(b.rs.CounterTracks)
+	return b.rs
+}
+
+// Summary computes the live recorder's summary without serializing.
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	if r == nil {
+		return s
+	}
+	for _, run := range r.runs {
+		b := newSummaryBuilder()
+		b.rs.Label = run.label
+		for i := range run.events {
+			e := &run.events[i]
+			s.Events++
+			switch e.ph {
+			case 'M':
+				if e.name == "thread_name" {
+					// args is `"name":"..."`; strip the rendered quoting.
+					var meta struct {
+						Name string `json:"name"`
+					}
+					json.Unmarshal([]byte("{"+e.args+"}"), &meta) //nolint:errcheck // we rendered it
+					b.rs.Tracks = append(b.rs.Tracks, meta.Name)
+				}
+			case 'b':
+				b.begin(e.id, int64(e.ts))
+			case 'n':
+				b.point(e.name)
+			case 'e':
+				b.end(e.id, int64(e.ts)) //nolint:errcheck // recorder pairs are well-formed
+			case 'C':
+				b.counter(e.name)
+			case 'X':
+				b.rs.Slices++
+			case 'i':
+				b.rs.Instants++
+			}
+		}
+		s.Runs = append(s.Runs, b.finish())
+	}
+	return s
+}
+
+// jsonEvent is the parsed form of one trace-event record.
+type jsonEvent struct {
+	Ph   string                 `json:"ph"`
+	Pid  int64                  `json:"pid"`
+	Tid  int64                  `json:"tid"`
+	Ts   *float64               `json:"ts"`
+	Dur  *float64               `json:"dur"`
+	Cat  string                 `json:"cat"`
+	ID   string                 `json:"id"`
+	Name string                 `json:"name"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type jsonTrace struct {
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+}
+
+// ReadSummary parses an exported trace, validates it against the
+// trace-event schema (required fields per phase, matched async
+// begin/end pairs, named processes), and returns its summary. A trace
+// that fails validation returns a descriptive error — this is the CI
+// schema gate.
+func ReadSummary(r io.Reader) (Summary, error) {
+	var s Summary
+	var tr jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return s, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	builders := map[int64]*summaryBuilder{}
+	var pids []int64
+	get := func(pid int64) *summaryBuilder {
+		b, ok := builders[pid]
+		if !ok {
+			b = newSummaryBuilder()
+			builders[pid] = b
+			pids = append(pids, pid)
+		}
+		return b
+	}
+	toPs := func(us float64) int64 { return int64(math.Round(us * 1e6)) }
+
+	for i, e := range tr.TraceEvents {
+		s.Events++
+		fail := func(format string, args ...interface{}) (Summary, error) {
+			return s, fmt.Errorf("trace: event %d (ph %q): %s", i, e.Ph, fmt.Sprintf(format, args...))
+		}
+		if len(e.Ph) != 1 {
+			return fail("missing or malformed phase")
+		}
+		if e.Ph != "M" && e.Ts == nil {
+			return fail("missing ts")
+		}
+		b := get(e.Pid)
+		switch e.Ph[0] {
+		case 'M':
+			name, _ := e.Args["name"].(string)
+			if name == "" {
+				return fail("metadata without args.name")
+			}
+			switch e.Name {
+			case "process_name":
+				b.rs.Label = name
+			case "thread_name":
+				b.rs.Tracks = append(b.rs.Tracks, name)
+			default:
+				return fail("unknown metadata record %q", e.Name)
+			}
+		case 'b', 'n', 'e':
+			if e.Cat == "" || e.ID == "" || e.Name == "" {
+				return fail("async event missing cat/id/name")
+			}
+			var id uint64
+			if _, err := fmt.Sscanf(e.ID, "%d", &id); err != nil {
+				return fail("non-numeric id %q", e.ID)
+			}
+			switch e.Ph[0] {
+			case 'b':
+				b.begin(id, toPs(*e.Ts))
+			case 'n':
+				b.point(e.Name)
+			case 'e':
+				if err := b.end(id, toPs(*e.Ts)); err != nil {
+					return fail("%v", err)
+				}
+			}
+		case 'C':
+			if e.Name == "" {
+				return fail("counter without name")
+			}
+			if _, ok := e.Args["value"].(float64); !ok {
+				return fail("counter %q without numeric args.value", e.Name)
+			}
+			b.counter(e.Name)
+		case 'X':
+			if e.Dur == nil || *e.Dur < 0 {
+				return fail("complete event without non-negative dur")
+			}
+			b.rs.Slices++
+		case 'i':
+			b.rs.Instants++
+		default:
+			return fail("unknown phase")
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		b := builders[pid]
+		if b.rs.Label == "" {
+			return s, fmt.Errorf("trace: process %d has no process_name metadata", pid)
+		}
+		s.Runs = append(s.Runs, b.finish())
+	}
+	return s, nil
+}

@@ -1,0 +1,400 @@
+// Package trace provides a nanosecond-resolution event recorder for the
+// simulated device stack: per-access lifecycle spans (issue → LFB/chip
+// queue → PCIe TLP → device service → completion, including the
+// timeout/retry/fault edges of internal/fault), resource-occupancy
+// counter timelines sampled on state change, and PCIe packet slices.
+//
+// The recorder exports Chrome trace-event / Perfetto JSON (Export), so a
+// trace file drops straight into ui.perfetto.dev or chrome://tracing.
+// One Recorder holds one process per simulation run, which lets a whole
+// figure sweep land in a single file with every run selectable by label.
+//
+// Zero overhead when disabled is a hard requirement: every method on a
+// nil *Recorder, nil *Run, or zero Track/Span value is a no-op, exactly
+// like the nil *fault.Injector idiom, so instrumented code needs no
+// conditionals on the hot path (callers guard only the argument
+// formatting). Tracing never schedules engine events and never perturbs
+// simulated timing: a traced run produces bit-identical measurements to
+// an untraced one, and — because the engine is deterministic — the same
+// seed always produces a byte-identical trace file.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Recorder accumulates trace runs. Create with NewRecorder; a nil
+// Recorder is a valid disabled recorder.
+type Recorder struct {
+	runs   []*Run
+	events uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Events returns the total number of trace events recorded across all
+// runs — the recorder's overhead counter, surfaced in run diagnostics.
+func (r *Recorder) Events() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.events
+}
+
+// Runs returns the number of runs recorded so far.
+func (r *Recorder) Runs() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.runs)
+}
+
+// NewRun opens a new trace process named by the run label (e.g.
+// "prefetch/ubench lat=1us cores=1 threads=8"). Returns nil — a valid
+// disabled run — on a nil recorder.
+func (r *Recorder) NewRun(label string) *Run {
+	if r == nil {
+		return nil
+	}
+	run := &Run{rec: r, pid: int32(len(r.runs) + 1), label: label}
+	r.runs = append(r.runs, run)
+	run.meta(0, "process_name", label)
+	return run
+}
+
+// Run is one simulation run's event stream (one trace process).
+type Run struct {
+	rec    *Recorder
+	pid    int32
+	label  string
+	tracks int32
+	nextID uint64
+	events []event
+}
+
+// event is one trace-event-format record.
+type event struct {
+	ph   byte
+	ts   sim.Time
+	dur  sim.Time // 'X' only
+	tid  int32
+	id   uint64 // async span id ('b', 'n', 'e')
+	val  int64  // counter value ('C')
+	name string
+	args string // pre-rendered JSON object body (no braces), may be empty
+}
+
+// Events returns the number of events this run recorded.
+func (r *Run) Events() uint64 {
+	if r == nil {
+		return 0
+	}
+	return uint64(len(r.events))
+}
+
+// Label returns the run label ("" on a nil run).
+func (r *Run) Label() string {
+	if r == nil {
+		return ""
+	}
+	return r.label
+}
+
+func (r *Run) add(e event) {
+	r.events = append(r.events, e)
+	r.rec.events++
+}
+
+func (r *Run) meta(tid int32, kind, name string) {
+	r.add(event{ph: 'M', tid: tid, name: kind, args: `"name":` + quote(name)})
+}
+
+// NewTrack registers a named thread-like track (a core, a PCIe
+// direction) and returns its handle. The zero Track is a valid disabled
+// track.
+func (r *Run) NewTrack(name string) Track {
+	if r == nil {
+		return Track{}
+	}
+	r.tracks++
+	t := Track{run: r, tid: r.tracks}
+	r.meta(t.tid, "thread_name", name)
+	return t
+}
+
+// Counter records one sample of a named occupancy/depth counter (e.g.
+// "lfb/core0", "chipq", "sq/core3"). Counters are per-run, not
+// per-track; each name renders as its own counter track.
+func (r *Run) Counter(at sim.Time, name string, value int) {
+	if r == nil {
+		return
+	}
+	r.add(event{ph: 'C', ts: at, name: name, val: int64(value)})
+}
+
+// Track is one span/slice timeline within a run.
+type Track struct {
+	run *Run
+	tid int32
+}
+
+// Active reports whether events on this track are recorded.
+func (t Track) Active() bool { return t.run != nil }
+
+// Instant records a point event on the track.
+func (t Track) Instant(at sim.Time, name, args string) {
+	if t.run == nil {
+		return
+	}
+	t.run.add(event{ph: 'i', ts: at, tid: t.tid, name: name, args: args})
+}
+
+// Slice records a complete [start, end] slice — used for PCIe TLP
+// transmissions, whose bounds are both known at submission time.
+func (t Track) Slice(start, end sim.Time, name, args string) {
+	if t.run == nil {
+		return
+	}
+	t.run.add(event{ph: 'X', ts: start, dur: end - start, tid: t.tid, name: name, args: args})
+}
+
+// BeginSpan opens an async access-lifecycle span and returns its handle.
+// The zero Span is a valid disabled span, so instrumented code can pass
+// spans through layers unconditionally.
+func (t Track) BeginSpan(at sim.Time, name, args string) Span {
+	if t.run == nil {
+		return Span{}
+	}
+	t.run.nextID++
+	s := Span{run: t.run, tid: t.tid, id: t.run.nextID}
+	t.run.add(event{ph: 'b', ts: at, tid: t.tid, id: s.id, name: name, args: args})
+	return s
+}
+
+// Span is one in-flight access lifecycle. Spans are values and may be
+// copied freely (e.g. into a software-queue descriptor).
+type Span struct {
+	run *Run
+	tid int32
+	id  uint64
+}
+
+// Active reports whether the span records events.
+func (s Span) Active() bool { return s.run != nil }
+
+// Point marks a named edge within the span (e.g. "lfb-acquired",
+// "serve-replay", "timeout"). The timestamp is explicit so layers can
+// stamp edges at computed times (a delay module's scheduled departure).
+func (s Span) Point(at sim.Time, name string) {
+	if s.run == nil {
+		return
+	}
+	s.run.add(event{ph: 'n', ts: at, tid: s.tid, id: s.id, name: name})
+}
+
+// End closes the span at the given time.
+func (s Span) End(at sim.Time) {
+	if s.run == nil {
+		return
+	}
+	s.run.add(event{ph: 'e', ts: at, tid: s.tid, id: s.id, name: "access"})
+}
+
+// spanCat is the category shared by all access-lifecycle spans; the
+// trace-event format matches async begin/instant/end records by
+// (category, id).
+const spanCat = "access"
+
+// Hex renders one hexadecimal key/value argument pair for span/slice
+// args, e.g. Hex("addr", 0x40) == `"addr":"0x40"`. Callers should build
+// args only when the receiving track/span is Active.
+func Hex(key string, v uint64) string {
+	return quote(key) + `:"0x` + strconv.FormatUint(v, 16) + `"`
+}
+
+// Int renders one integer key/value argument pair.
+func Int(key string, v int64) string {
+	return quote(key) + ":" + strconv.FormatInt(v, 10)
+}
+
+// WriteTo writes the whole recorder as Chrome trace-event / Perfetto
+// JSON. The output is a pure function of the recorded events: the same
+// simulation seed yields byte-identical files.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		n, err := io.WriteString(w, emptyTrace)
+		return int64(n), err
+	}
+	bw := &countWriter{w: w}
+	buf := make([]byte, 0, 256)
+	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return bw.n, err
+	}
+	first := true
+	for _, run := range r.runs {
+		for i := range run.events {
+			buf = buf[:0]
+			if !first {
+				buf = append(buf, ',', '\n')
+			}
+			first = false
+			buf = appendEvent(buf, run.pid, &run.events[i])
+			if _, err := bw.Write(buf); err != nil {
+				return bw.n, err
+			}
+		}
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return bw.n, err
+	}
+	return bw.n, nil
+}
+
+const emptyTrace = `{"displayTimeUnit":"ns","traceEvents":[]}` + "\n"
+
+// WriteFile writes the trace to path.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := r.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// appendEvent renders one event as a JSON object. Timestamps are
+// microseconds with six fractional digits — an exact decimal rendering
+// of the engine's picosecond clock, chosen over floating point so the
+// bytes are reproducible.
+func appendEvent(buf []byte, pid int32, e *event) []byte {
+	buf = append(buf, `{"ph":"`...)
+	buf = append(buf, e.ph)
+	buf = append(buf, `","pid":`...)
+	buf = strconv.AppendInt(buf, int64(pid), 10)
+	switch e.ph {
+	case 'M':
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(e.tid), 10)
+		buf = append(buf, `,"name":`...)
+		buf = appendQuote(buf, e.name)
+		buf = append(buf, `,"args":{`...)
+		buf = append(buf, e.args...)
+		buf = append(buf, '}')
+	case 'C':
+		buf = append(buf, `,"ts":`...)
+		buf = appendTS(buf, e.ts)
+		buf = append(buf, `,"name":`...)
+		buf = appendQuote(buf, e.name)
+		buf = append(buf, `,"args":{"value":`...)
+		buf = strconv.AppendInt(buf, e.val, 10)
+		buf = append(buf, '}', '}')
+		return buf
+	case 'b', 'n', 'e':
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(e.tid), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendTS(buf, e.ts)
+		buf = append(buf, `,"cat":"`...)
+		buf = append(buf, spanCat...)
+		buf = append(buf, `","id":"`...)
+		buf = strconv.AppendUint(buf, e.id, 10)
+		buf = append(buf, `","name":`...)
+		buf = appendQuote(buf, e.name)
+		if e.args != "" {
+			buf = append(buf, `,"args":{`...)
+			buf = append(buf, e.args...)
+			buf = append(buf, '}')
+		}
+	case 'X':
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(e.tid), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendTS(buf, e.ts)
+		buf = append(buf, `,"dur":`...)
+		buf = appendTS(buf, e.dur)
+		buf = append(buf, `,"name":`...)
+		buf = appendQuote(buf, e.name)
+		if e.args != "" {
+			buf = append(buf, `,"args":{`...)
+			buf = append(buf, e.args...)
+			buf = append(buf, '}')
+		}
+	case 'i':
+		buf = append(buf, `,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(e.tid), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendTS(buf, e.ts)
+		buf = append(buf, `,"s":"t","name":`...)
+		buf = appendQuote(buf, e.name)
+		if e.args != "" {
+			buf = append(buf, `,"args":{`...)
+			buf = append(buf, e.args...)
+			buf = append(buf, '}')
+		}
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// appendTS renders a picosecond time as microseconds with exactly six
+// fractional digits (trace-event timestamps are in microseconds).
+func appendTS(buf []byte, t sim.Time) []byte {
+	ps := int64(t)
+	if ps < 0 { // negative durations cannot occur; guard for safety
+		buf = append(buf, '-')
+		ps = -ps
+	}
+	buf = strconv.AppendInt(buf, ps/1_000_000, 10)
+	buf = append(buf, '.')
+	frac := strconv.FormatInt(ps%1_000_000, 10)
+	for i := len(frac); i < 6; i++ {
+		buf = append(buf, '0')
+	}
+	return append(buf, frac...)
+}
+
+func quote(s string) string { return string(appendQuote(nil, s)) }
+
+func appendQuote(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// String renders the whole trace as a JSON string (testing convenience).
+func (r *Recorder) String() string {
+	var b strings.Builder
+	r.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}

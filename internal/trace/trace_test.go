@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNilRecorderIsNoOp pins the zero-overhead-when-disabled contract:
+// every operation on a nil recorder, nil run, zero track, and zero span
+// must be safe and record nothing.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var rec *Recorder
+	if rec.Events() != 0 || rec.Runs() != 0 {
+		t.Error("nil recorder reports non-zero contents")
+	}
+	run := rec.NewRun("disabled")
+	if run != nil {
+		t.Fatal("NewRun on a nil recorder must return a nil (disabled) run")
+	}
+	if run.Events() != 0 || run.Label() != "" {
+		t.Error("nil run reports non-zero contents")
+	}
+	run.Counter(1, "lfb/core0", 3)
+
+	tk := run.NewTrack("core0")
+	if tk.Active() {
+		t.Error("track from a nil run must be inactive")
+	}
+	tk.Instant(1, "x", "")
+	tk.Slice(1, 2, "tlp", "")
+
+	sp := tk.BeginSpan(1, "access", "")
+	if sp.Active() {
+		t.Error("span from an inactive track must be inactive")
+	}
+	sp.Point(2, "lfb-acquired")
+	sp.End(3)
+
+	if got := rec.String(); got != emptyTrace {
+		t.Errorf("nil recorder serialization = %q, want the empty trace", got)
+	}
+	sum := rec.Summary()
+	if sum.Events != 0 || len(sum.Runs) != 0 {
+		t.Error("nil recorder summary must be empty")
+	}
+}
+
+// record builds a small but representative trace: two runs, spans with
+// points, a slice, an instant, and counters.
+func record() *Recorder {
+	rec := NewRecorder()
+	run := rec.NewRun("prefetch/ubench lat=1.000us cores=1 threads=2")
+	core0 := run.NewTrack("core0")
+	down := run.NewTrack("pcie-down")
+
+	run.Counter(0, "lfb/core0", 0)
+	sp := core0.BeginSpan(100*sim.Nanosecond, "access", Hex("addr", 0x40))
+	run.Counter(100*sim.Nanosecond, "lfb/core0", 1)
+	sp.Point(110*sim.Nanosecond, "lfb-acquired")
+	down.Slice(120*sim.Nanosecond, 130*sim.Nanosecond, "tlp", Int("payload", 0))
+	sp.Point(150*sim.Nanosecond, "serve-replay")
+	down.Instant(160*sim.Nanosecond, "fault-link-stall", "")
+	sp.End(1100 * sim.Nanosecond)
+	run.Counter(1100*sim.Nanosecond, "lfb/core0", 0)
+
+	run2 := rec.NewRun("swqueue/ubench lat=1.000us cores=1 threads=2")
+	c := run2.NewTrack("core0")
+	sp2 := c.BeginSpan(0, "access", "")
+	sp2.Point(5*sim.Nanosecond, "desc-fetched")
+	sp2.End(2 * sim.Microsecond)
+	return rec
+}
+
+func TestWriterIsDeterministic(t *testing.T) {
+	a, b := record().String(), record().String()
+	if a != b {
+		t.Fatal("identical recordings serialized to different bytes")
+	}
+	if !strings.HasPrefix(a, `{"displayTimeUnit":"ns","traceEvents":[`) {
+		t.Errorf("missing trace-event envelope: %.60q", a)
+	}
+	// Exact decimal microsecond timestamps — no float formatting.
+	if !strings.Contains(a, `"ts":0.100000`) {
+		t.Errorf("span begin at 100ns should serialize as ts 0.100000 us:\n%s", a)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	rec := record()
+	live := rec.Summary()
+	parsed, err := ReadSummary(strings.NewReader(rec.String()))
+	if err != nil {
+		t.Fatalf("exported trace failed its own schema check: %v", err)
+	}
+	if live.Events != parsed.Events {
+		t.Errorf("event count: live %d, parsed %d", live.Events, parsed.Events)
+	}
+	if len(parsed.Runs) != 2 {
+		t.Fatalf("parsed %d runs, want 2", len(parsed.Runs))
+	}
+	for i := range parsed.Runs {
+		l, p := live.Runs[i], parsed.Runs[i]
+		if l.Label != p.Label || l.Spans != p.Spans || l.Points != p.Points ||
+			l.Slices != p.Slices || l.Instants != p.Instants ||
+			l.CounterSamples != p.CounterSamples ||
+			l.MinDurPs != p.MinDurPs || l.MaxDurPs != p.MaxDurPs || l.TotalDurPs != p.TotalDurPs {
+			t.Errorf("run %d: live %+v != parsed %+v", i, l, p)
+		}
+	}
+	if parsed.Runs[0].Spans != 1 || parsed.Runs[0].OpenSpans != 0 {
+		t.Errorf("run 0 spans = %d open %d, want 1 closed", parsed.Runs[0].Spans, parsed.Runs[0].OpenSpans)
+	}
+	if parsed.Runs[0].MinDurPs != int64(1000*sim.Nanosecond) {
+		t.Errorf("span duration %dps, want 1000ns", parsed.Runs[0].MinDurPs)
+	}
+	if parsed.Runs[0].PointCounts["lfb-acquired"] != 1 {
+		t.Errorf("lfb-acquired edge missing: %v", parsed.Runs[0].PointCounts)
+	}
+	if len(parsed.Runs[0].CounterTracks) != 1 || parsed.Runs[0].CounterTracks[0] != "lfb/core0" {
+		t.Errorf("counter tracks = %v, want [lfb/core0]", parsed.Runs[0].CounterTracks)
+	}
+}
+
+func TestOpenSpanReported(t *testing.T) {
+	rec := NewRecorder()
+	run := rec.NewRun("r")
+	tk := run.NewTrack("core0")
+	tk.BeginSpan(0, "access", "")
+	sum, err := ReadSummary(strings.NewReader(rec.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs[0].OpenSpans != 1 || sum.Runs[0].Spans != 0 {
+		t.Errorf("open=%d closed=%d, want 1 open", sum.Runs[0].OpenSpans, sum.Runs[0].Spans)
+	}
+}
+
+func TestReadSummaryRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"invalid JSON":       `{"traceEvents":[`,
+		"unmatched end":      `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"r"}},{"ph":"e","pid":1,"tid":1,"ts":1,"cat":"access","id":"7","name":"access"}]}`,
+		"missing ts":         `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"r"}},{"ph":"i","pid":1,"tid":1,"name":"x"}]}`,
+		"counter sans value": `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"r"}},{"ph":"C","pid":1,"ts":1,"name":"lfb","args":{}}]}`,
+		"span sans id":       `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"r"}},{"ph":"b","pid":1,"tid":1,"ts":1,"cat":"access","name":"access"}]}`,
+		"unnamed process":    `{"traceEvents":[{"ph":"C","pid":9,"ts":1,"name":"lfb","args":{"value":2}}]}`,
+		"unknown phase":      `{"traceEvents":[{"ph":"Z","pid":1,"ts":1,"name":"x"}]}`,
+		"negative dur":       `{"traceEvents":[{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"r"}},{"ph":"X","pid":1,"tid":1,"ts":5,"dur":-1,"name":"tlp"}]}`,
+	}
+	for label, raw := range cases {
+		if _, err := ReadSummary(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: validation passed, want error", label)
+		}
+	}
+}
+
+func TestArgHelpers(t *testing.T) {
+	if got := Hex("addr", 0x40); got != `"addr":"0x40"` {
+		t.Errorf("Hex = %s", got)
+	}
+	if got := Int("payload", 64); got != `"payload":64` {
+		t.Errorf("Int = %s", got)
+	}
+}
+
+func TestQuoteEscapesControlAndQuotes(t *testing.T) {
+	rec := NewRecorder()
+	run := rec.NewRun("label \"x\"\n")
+	tk := run.NewTrack("t")
+	tk.Instant(0, `a\b`, "")
+	if _, err := ReadSummary(strings.NewReader(rec.String())); err != nil {
+		t.Fatalf("escaped trace failed to parse: %v", err)
+	}
+}

@@ -45,13 +45,23 @@ func (r *RoundRobin) Live() int {
 // and leave when the executor runs them.
 type FIFO struct {
 	queue []*Thread
+
+	// OnChange, when set, observes every ready-queue length change —
+	// the trace layer's runnable-threads timeline. It must not mutate
+	// the queue.
+	OnChange func(n int)
 }
 
 // NewFIFO returns an empty ready queue.
 func NewFIFO() *FIFO { return &FIFO{} }
 
 // Push appends a runnable thread.
-func (f *FIFO) Push(t *Thread) { f.queue = append(f.queue, t) }
+func (f *FIFO) Push(t *Thread) {
+	f.queue = append(f.queue, t)
+	if f.OnChange != nil {
+		f.OnChange(len(f.queue))
+	}
+}
 
 // Pop removes and returns the oldest runnable thread, or nil if empty.
 func (f *FIFO) Pop() *Thread {
@@ -60,6 +70,9 @@ func (f *FIFO) Pop() *Thread {
 	}
 	t := f.queue[0]
 	f.queue = f.queue[:copy(f.queue, f.queue[1:])]
+	if f.OnChange != nil {
+		f.OnChange(len(f.queue))
+	}
 	return t
 }
 
