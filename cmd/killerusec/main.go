@@ -10,6 +10,10 @@
 //	killerusec -table1           # the paper's Table I (taxonomy)
 //	killerusec -list             # list experiment IDs
 //	killerusec -fig 4 -quick -trace fig4.json  # Perfetto trace of every run
+//	killerusec -all -quick -json BENCH_quick.json  # machine-readable run report
+//
+// Long sweeps print per-table progress and an ETA to stderr when it is
+// a terminal (suppressed under -csv and in CI/pipes).
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		outdir   = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every measured run to this file")
+		jsonOut  = flag.String("json", "", "write a machine-readable run report (schema-versioned JSON) to this file; check it with `kurec check`")
 	)
 	flag.Parse()
 
@@ -49,7 +54,7 @@ func main() {
 		fmt.Println("ablations:  lfb chipq rule switch swqopts")
 		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality faults")
 		fmt.Println("families:   -all (paper) -ext (extensions) -faults (fault injection/recovery)")
-		fmt.Println("modes:      -quick -csv -outdir <dir> -trace <file> (Perfetto trace of every run)")
+		fmt.Println("modes:      -quick -csv -outdir <dir> -trace <file> (Perfetto trace) -json <file> (run report)")
 		return
 	}
 	if *table1 {
@@ -104,19 +109,19 @@ func main() {
 		suite.Base.Trace = rec
 	}
 
-	var tables []*stats.Table
+	var plan []experiments.Experiment
 	switch {
 	case *all && *ext:
-		tables = append(suite.All(), suite.Extensions()...)
+		plan = append(suite.PaperPlan(), suite.ExtensionPlan()...)
 	case *all:
-		tables = suite.All()
+		plan = suite.PaperPlan()
 	case *ext:
-		tables = suite.Extensions()
+		plan = suite.ExtensionPlan()
 	case *faults:
-		tables = suite.ExpFaults()
+		plan = []experiments.Experiment{{ID: "ext-faults", Run: suite.ExpFaults}}
 	case *fig != "":
-		tables = runOne(suite, strings.ToLower(*fig))
-		if tables == nil {
+		plan = planOne(suite, strings.ToLower(*fig))
+		if plan == nil {
 			fmt.Fprintf(os.Stderr, "killerusec: unknown experiment %q (try -list)\n", *fig)
 			os.Exit(2)
 		}
@@ -124,6 +129,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	meter := newProgressMeter(len(plan), *csv)
+	tables := experiments.RunPlan(plan, func(i int, id string) { meter.Step(id) })
+	meter.Finish()
 
 	for i, t := range tables {
 		if i > 0 {
@@ -149,6 +158,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "killerusec: wrote %d trace events (%d runs) to %s\n",
 			rec.Events(), rec.Runs(), *traceOut)
 	}
+	if *jsonOut != "" {
+		rep := suite.Report(tables)
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "killerusec:", err)
+			os.Exit(1)
+		}
+		nt, ns, nc := rep.CellCount()
+		fmt.Fprintf(os.Stderr, "killerusec: wrote run report (%d tables, %d series, %d cells) to %s\n",
+			nt, ns, nc, *jsonOut)
+	}
 }
 
 // writeCSVs writes one CSV file per table into dir, creating it if
@@ -166,62 +185,81 @@ func writeCSVs(dir string, tables []*stats.Table) error {
 	return nil
 }
 
+// runOne runs a single experiment family by user-facing id, returning
+// nil for an unknown id.
 func runOne(s experiments.Suite, id string) []*stats.Table {
-	one := func(t *stats.Table) []*stats.Table { return []*stats.Table{t} }
+	plan := planOne(s, id)
+	if plan == nil {
+		return nil
+	}
+	return experiments.RunPlan(plan, nil)
+}
+
+// planOne maps a user-facing experiment id (with its short aliases)
+// onto a one-element execution plan, or nil if the id is unknown.
+func planOne(s experiments.Suite, id string) []experiments.Experiment {
+	one := func(pid string, f func() *stats.Table) []experiments.Experiment {
+		return []experiments.Experiment{{ID: pid, Run: func() []*stats.Table {
+			return []*stats.Table{f()}
+		}}}
+	}
 	switch id {
 	case "2", "fig2":
-		return one(s.Fig2())
+		return one("fig2", s.Fig2)
 	case "3", "fig3":
-		return one(s.Fig3())
+		return one("fig3", s.Fig3)
 	case "4", "fig4":
-		return one(s.Fig4())
+		return one("fig4", s.Fig4)
 	case "5", "fig5":
-		return one(s.Fig5())
+		return one("fig5", s.Fig5)
 	case "6", "fig6":
-		return one(s.Fig6())
+		return one("fig6", s.Fig6)
 	case "7", "fig7":
-		return one(s.Fig7())
+		return one("fig7", s.Fig7)
 	case "8", "fig8":
-		return one(s.Fig8())
+		return one("fig8", s.Fig8)
 	case "9", "fig9":
-		return one(s.Fig9())
+		return one("fig9", s.Fig9)
 	case "10", "fig10":
-		return s.Fig10()
+		return []experiments.Experiment{{ID: "fig10", Run: s.Fig10}}
 	case "10a", "10b", "10c", "10d", "fig10a", "fig10b", "fig10c", "fig10d":
-		for _, t := range s.Fig10() {
-			if strings.HasSuffix(t.ID, strings.TrimPrefix(id, "fig")) {
-				return []*stats.Table{t}
+		suffix := strings.TrimPrefix(id, "fig")
+		return []experiments.Experiment{{ID: "fig" + suffix, Run: func() []*stats.Table {
+			for _, t := range s.Fig10() {
+				if strings.HasSuffix(t.ID, suffix) {
+					return []*stats.Table{t}
+				}
 			}
-		}
-		return nil
+			return nil
+		}}}
 	case "lfb", "ablation-lfb":
-		return one(s.AblationLFB())
+		return one("ablation-lfb", s.AblationLFB)
 	case "chipq", "ablation-chipq":
-		return one(s.AblationChipQueue())
+		return one("ablation-chipq", s.AblationChipQueue)
 	case "rule", "ablation-rule":
-		return one(s.AblationRule())
+		return one("ablation-rule", s.AblationRule)
 	case "switch", "ablation-switch":
-		return one(s.AblationSwitchCost())
+		return one("ablation-switch", s.AblationSwitchCost)
 	case "swqopts", "ablation-swqopts":
-		return one(s.AblationSWQOpts())
+		return one("ablation-swqopts", s.AblationSWQOpts)
 	case "kernelq", "ext-kernelq":
-		return one(s.ExpKernelQueue())
+		return one("ext-kernelq", s.ExpKernelQueue)
 	case "smt", "ext-smt":
-		return one(s.ExpSMT())
+		return one("ext-smt", s.ExpSMT)
 	case "writes", "ext-writes":
-		return one(s.ExpWrites())
+		return one("ext-writes", s.ExpWrites)
 	case "membus", "ext-membus":
-		return one(s.ExpMemBus())
+		return one("ext-membus", s.ExpMemBus)
 	case "tail", "ext-tail":
-		return one(s.ExpTailLatency())
+		return one("ext-tail", s.ExpTailLatency)
 	case "ptrchase", "ext-ptrchase":
-		return one(s.ExpPointerChase())
+		return one("ext-ptrchase", s.ExpPointerChase)
 	case "devices", "ext-devices":
-		return one(s.ExpDevices())
+		return one("ext-devices", s.ExpDevices)
 	case "locality", "ext-locality":
-		return one(s.ExpLocality())
+		return one("ext-locality", s.ExpLocality)
 	case "faults", "ext-faults":
-		return s.ExpFaults()
+		return []experiments.Experiment{{ID: "ext-faults", Run: s.ExpFaults}}
 	}
 	return nil
 }

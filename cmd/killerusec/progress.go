@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// progressMeter prints per-table progress and an ETA for multi-minute
+// sweeps to stderr. It stays silent when stderr is not a terminal
+// (CI, pipes) or when the invocation emits CSV, so machine-consumed
+// output never interleaves with progress lines and golden files stay
+// byte-stable.
+type progressMeter struct {
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character
+// device (a terminal) rather than a file or pipe.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// newProgressMeter returns a meter over total plan steps, or nil
+// (every method on a nil meter is a no-op) when progress is suppressed.
+func newProgressMeter(total int, suppress bool) *progressMeter {
+	if suppress || total < 1 || !stderrIsTerminal() {
+		return nil
+	}
+	return &progressMeter{w: os.Stderr, total: total, start: time.Now()}
+}
+
+// Step announces the next experiment about to run, with an ETA once at
+// least one step has completed (the estimate assumes steps of roughly
+// equal cost — coarse, but enough to show a full sweep is alive).
+func (p *progressMeter) Step(id string) {
+	if p == nil {
+		return
+	}
+	p.done++
+	eta := ""
+	if p.done > 1 {
+		elapsed := time.Since(p.start)
+		perStep := elapsed / time.Duration(p.done-1)
+		remaining := perStep * time.Duration(p.total-p.done+1)
+		eta = fmt.Sprintf(", eta %s", remaining.Round(time.Second))
+	}
+	fmt.Fprintf(p.w, "killerusec: [%d/%d] %s%s\n", p.done, p.total, id, eta)
+}
+
+// Finish reports the total sweep time.
+func (p *progressMeter) Finish() {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(p.w, "killerusec: %d experiments in %s\n",
+		p.total, time.Since(p.start).Round(time.Second))
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/expect"
+	"repro/internal/report"
+)
+
+// cmdCheck validates a killerusec run report: schema, the paper-claims
+// expectation suite, and an optional cell-by-cell diff against a
+// baseline report. It is the CI regression gate — any failed claim or
+// out-of-tolerance cell makes the command exit non-zero.
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	in := fs.String("in", "", "run report to check (required; from `killerusec -json`)")
+	against := fs.String("against", "", "baseline report to diff cell-by-cell against")
+	claims := fs.Bool("claims", false, "evaluate the paper-claims expectation suite")
+	tol := fs.Float64("tol", report.DefaultDiffOpt().RelTol, "relative per-cell drift tolerance for -against")
+	abs := fs.Float64("abs", report.DefaultDiffOpt().AbsTol, "absolute per-cell drift floor for -against")
+	top := fs.Int("top", report.DefaultDiffOpt().Top, "worst regressions to list for -against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("check needs -in <report.json>")
+	}
+	if *tol < 0 || *abs < 0 {
+		return fmt.Errorf("-tol and -abs must be non-negative")
+	}
+
+	r, err := report.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	nt, ns, nc := r.CellCount()
+	fmt.Printf("%s: schema %s v%d, %d tables, %d series, %d cells\n",
+		*in, r.Schema, r.Version, nt, ns, nc)
+
+	failed := false
+	if *claims {
+		verdicts := expect.Evaluate(r, expect.Claims())
+		for _, v := range verdicts {
+			fmt.Printf("%-4s %-28s %s\n", v.Status, v.ID, v.Detail)
+		}
+		pass, fail, skip := expect.Count(verdicts)
+		fmt.Printf("claims: %d pass, %d fail, %d skip\n", pass, fail, skip)
+		if fail > 0 {
+			failed = true
+		}
+	}
+
+	if *against != "" {
+		base, err := report.ReadFile(*against)
+		if err != nil {
+			return err
+		}
+		d := report.Compare(r, base, report.DiffOpt{RelTol: *tol, AbsTol: *abs, Top: *top})
+		fmt.Print(d.Summary())
+		if !d.Clean() {
+			failed = true
+		}
+	}
+
+	if failed {
+		return fmt.Errorf("check failed")
+	}
+	if *claims || *against != "" {
+		fmt.Println("ok")
+	}
+	return nil
+}

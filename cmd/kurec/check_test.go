@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/expect"
+	"repro/internal/report"
+)
+
+const baselinePath = "../../baselines/quick.json"
+
+// TestBaselineSatisfiesClaims gates the committed golden report: every
+// paper claim must pass on it, so CI's fresh-sweep-vs-baseline diff and
+// the claims suite can never disagree about the checked-in artifact.
+func TestBaselineSatisfiesClaims(t *testing.T) {
+	r, err := report.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := expect.Evaluate(r, expect.Claims())
+	pass, fail, skip := expect.Count(verdicts)
+	for _, v := range verdicts {
+		if v.Status != expect.Pass {
+			t.Errorf("%s %s: %s", v.Status, v.ID, v.Detail)
+		}
+	}
+	if fail > 0 || skip > 0 || pass == 0 {
+		t.Fatalf("claims on baseline: %d pass, %d fail, %d skip", pass, fail, skip)
+	}
+}
+
+// TestDiffGateCatchesPerturbation is the regression-gate acceptance
+// check: nudging a single cell beyond tolerance must fail the diff.
+func TestDiffGateCatchesPerturbation(t *testing.T) {
+	base, err := report.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := report.Compare(got, base, report.DefaultDiffOpt()); !d.Clean() {
+		t.Fatalf("baseline does not diff clean against itself: %s", d.Summary())
+	}
+
+	s := got.Table("fig3").FindSeries("1us")
+	if s == nil {
+		t.Fatal("fig3/1us missing from baseline")
+	}
+	_, peak := s.Peak()
+	for i := range s.Y {
+		s.Y[i] = report.Float(peak * 0.8) // 20% drift at the peak cell, beyond the 5% gate
+	}
+	d := report.Compare(got, base, report.DefaultDiffOpt())
+	if d.Clean() {
+		t.Fatal("20% cell drift passed the regression gate")
+	}
+	if len(d.Exceeded) == 0 {
+		t.Fatalf("drift not attributed to a cell: %s", d.Summary())
+	}
+	if c := d.Exceeded[0]; c.Table != "fig3" || c.Series != "1us" {
+		t.Fatalf("wrong cell flagged: %+v", c)
+	}
+}
+
+// TestCheckCommand exercises the CLI entry end to end against the
+// committed baseline.
+func TestCheckCommand(t *testing.T) {
+	if err := cmdCheck([]string{"-in", baselinePath, "-claims", "-against", baselinePath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCheck([]string{}); err == nil {
+		t.Fatal("check without -in should fail")
+	}
+	if err := cmdCheck([]string{"-in", baselinePath, "-tol", "-1"}); err == nil {
+		t.Fatal("negative tolerance should fail")
+	}
+	if err := cmdCheck([]string{"-in", "no-such-file.json"}); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}

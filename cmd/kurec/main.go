@@ -10,6 +10,8 @@
 //	kurec verify trace.core0                   # replay in order, check it drains
 //	kurec trace -mech swqueue -out swq.json    # Perfetto trace + span summary
 //	kurec trace -in swq.json                   # validate an exported trace
+//	kurec check -in run.json -claims           # schema + paper-claims suite
+//	kurec check -in run.json -against base.json  # cell-by-cell regression diff
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -40,6 +42,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

@@ -1,0 +1,309 @@
+package expect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/report"
+)
+
+// app series labels shared by the four Fig 10 sub-figures.
+var fig10Apps = []string{"bfs-s16", "bloom-k4", "memcached-v4"}
+
+// Claims returns the standard paper-claims suite: every qualitative
+// claim EXPERIMENTS.md documents in prose, as a typed assertion with a
+// stable ID. The "Claim checks" table in EXPERIMENTS.md maps each row
+// back to these IDs.
+func Claims() []Check {
+	var cs []Check
+	add := func(id, table, claim string, eval func(r *report.Report) (bool, string)) {
+		cs = append(cs, Check{ID: id, Tables: []string{table}, Claim: claim, Eval: eval})
+	}
+
+	// ---- Fig 2: on-demand access (§V-A) ----
+	add("fig2.abysmal-drop", "fig2",
+		"\"the performance drop is abysmal\" at moderate work counts: 1us on-demand <= 0.2 of DRAM at work=200",
+		func(r *report.Report) (bool, string) {
+			y := r.Table("fig2").FindSeries("1us").YAt(200)
+			return within(y, 0, 0.2), fmt.Sprintf("1us at work=200: %.3f (want <= 0.2)", y)
+		})
+	add("fig2.work-abates", "fig2",
+		"\"only when there is a large amount of work per device access (e.g., 5,000 instructions)\" is the impact partially abated",
+		func(r *report.Report) (bool, string) {
+			y := r.Table("fig2").FindSeries("1us").YAt(5000)
+			return within(y, 0.4, 0.85), fmt.Sprintf("1us at work=5000: %.3f (want [0.4, 0.85])", y)
+		})
+	add("fig2.latency-order", "fig2",
+		"on-demand throughput is ordered by device latency at every work count",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig2")
+			if ok, d := orderedEverywhere(t, "1us", "2us", 0.002); !ok {
+				return false, d
+			}
+			return orderedEverywhere(t, "2us", "4us", 0.002)
+		})
+	add("fig2.monotone-work", "fig2",
+		"more work per access always improves normalized on-demand throughput",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig2")
+			for _, lat := range []string{"1us", "2us", "4us"} {
+				if ok, d := monotoneNonDecreasing(t.FindSeries(lat), 0.02); !ok {
+					return false, lat + ": " + d
+				}
+			}
+			return true, "all three latency series monotone in work count"
+		})
+
+	// ---- Fig 3: prefetch-based access (§V-B) ----
+	add("fig3.knee", "fig3",
+		"\"at 10 threads and 1us device latency, the performance is similar to running with data in DRAM\": the 1us curve knees at 10-12 threads",
+		func(r *report.Report) (bool, string) {
+			return kneeIn(r.Table("fig3").FindSeries("1us"), 0.9, 8, 12)
+		})
+	add("fig3.dram-parity", "fig3",
+		"1us prefetch peaks near DRAM parity (paper: \"marginally outperforms DRAM\" just past the knee)",
+		func(r *report.Report) (bool, string) {
+			return peakIn(r.Table("fig3").FindSeries("1us"), 0.9, 1.1)
+		})
+	add("fig3.lfb-plateau", "fig3",
+		"\"after reaching 10 threads, additional threads do not improve performance\" (the 10-entry LFB pool binds)",
+		func(r *report.Report) (bool, string) {
+			return flatAfterKnee(r.Table("fig3").FindSeries("1us"), 0.07)
+		})
+	add("fig3.plateau-2us", "fig3",
+		"\"longer device latencies result in a shallower slope\": the 2us plateau sits at ~half of DRAM",
+		func(r *report.Report) (bool, string) {
+			return plateauNear(r.Table("fig3").FindSeries("2us"), 0.49, 0.05)
+		})
+	add("fig3.plateau-4us", "fig3",
+		"the 4us plateau sits at ~a quarter of DRAM (10 LFBs hide only 10/latency accesses)",
+		func(r *report.Report) (bool, string) {
+			return plateauNear(r.Table("fig3").FindSeries("4us"), 0.24, 0.03)
+		})
+
+	// ---- Fig 4: work-count sweep (§V-B) ----
+	add("fig4.crossover", "fig4",
+		"work=500 is the smallest per-access work that reaches DRAM parity under 1us prefetch",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig4")
+			first := ""
+			for _, label := range []string{"work=100", "work=200", "work=500", "work=1000"} {
+				_, y := t.FindSeries(label).Peak()
+				if !math.IsNaN(y) && y >= 0.99 {
+					first = label
+					break
+				}
+			}
+			return first == "work=500", fmt.Sprintf("first series reaching 0.99: %q (want work=500)", first)
+		})
+	add("fig4.fewer-threads", "fig4",
+		"\"with more work, fewer threads are needed to hide the device latency\": the 90%-of-peak knee moves left with work count",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig4")
+			prev := math.Inf(1)
+			detail := ""
+			for _, label := range []string{"work=100", "work=200", "work=500", "work=1000"} {
+				k := t.FindSeries(label).KneeX(0.9)
+				if math.IsNaN(k) || k > prev {
+					return false, fmt.Sprintf("knee(%s)=%g after %g", label, k, prev)
+				}
+				detail += fmt.Sprintf(" %s:%g", label, k)
+				prev = k
+			}
+			kHi := t.FindSeries("work=100").KneeX(0.9)
+			kLo := t.FindSeries("work=1000").KneeX(0.9)
+			return kLo < kHi, "knees:" + detail
+		})
+
+	// ---- Fig 5: multicore prefetch (§V-B) ----
+	add("fig5.chipq-ceiling", "fig5",
+		"the 14-entry chip-level shared queue caps every 1us multicore curve at the same ceiling (~1.37x the single-core baseline)",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig5")
+			detail := ""
+			for _, label := range []string{"1us 2c", "1us 4c", "1us 8c"} {
+				_, y := t.FindSeries(label).Peak()
+				detail += fmt.Sprintf(" %s:%.3f", label, y)
+				if !within(y, 1.2, 1.45) {
+					return false, fmt.Sprintf("%s peak %.3f outside [1.2, 1.45]", label, y)
+				}
+			}
+			return true, "multicore peaks" + detail + " (shared ceiling)"
+		})
+	add("fig5.linear-start", "fig5",
+		"\"with a few threads per core, the multi-core performance scales linearly\": 8 cores ~ 8x one core at 1 thread/core",
+		func(r *report.Report) (bool, string) {
+			return valueRatioAt(r.Table("fig5"), "1us 8c", "1us 1c", 1, 6, 9)
+		})
+	add("fig5.chipq-occupancy", "fig5",
+		"\"the maximum occupancy of this queue is 14\": the saturated 8-core run drives the chip queue to ~full mean occupancy",
+		func(r *report.Report) (bool, string) {
+			s := r.Table("fig5").FindSeries("1us 8c")
+			if s == nil {
+				return false, "series absent"
+			}
+			best := math.NaN()
+			for _, d := range s.Diags {
+				if d == nil {
+					continue
+				}
+				v := float64(d.MeanChipOccupancy)
+				if math.IsNaN(best) || v > best {
+					best = v
+				}
+			}
+			if math.IsNaN(best) {
+				return false, "no per-cell diagnostics in report"
+			}
+			return within(best, 12, 14.01), fmt.Sprintf("best mean chip-queue occupancy %.1f (want [12, 14])", best)
+		})
+
+	// ---- Fig 6: prefetch with MLP (§V-B) ----
+	add("fig6.mlp-order", "fig6",
+		"\"the LFB limit is more problematic for applications with inherent MLP\": peaks ordered 1-read > 2-read > 4-read",
+		func(r *report.Report) (bool, string) {
+			return orderedPeaks(r.Table("fig6"), 0.1, "1-read", "2-read", "4-read")
+		})
+	add("fig6.knee-shift", "fig6",
+		"multi-read batches consume LFBs faster: the saturation knee moves left with MLP",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig6")
+			k1 := t.FindSeries("1-read").KneeX(0.9)
+			k2 := t.FindSeries("2-read").KneeX(0.9)
+			k4 := t.FindSeries("4-read").KneeX(0.9)
+			ok := !math.IsNaN(k1) && !math.IsNaN(k2) && !math.IsNaN(k4) &&
+				k2 < k1 && k4 <= k2 && k4 <= 5
+			return ok, fmt.Sprintf("knees 1-read:%g 2-read:%g 4-read:%g (want decreasing, 4-read <= 5)", k1, k2, k4)
+		})
+
+	// ---- Fig 7: prefetch vs software-managed queues (§V-C) ----
+	add("fig7.crossover", "fig7",
+		"\"when the prefetch-based access encounters the LFB limit, the application-managed queues continue to gain\": at 4us, SWQ decisively passes flat prefetch between 10 and 20 threads",
+		func(r *report.Report) (bool, string) {
+			return crossoverIn(r.Table("fig7"), "swqueue 4us", "prefetch 4us", 1.2, 10, 20)
+		})
+	add("fig7.swq-cap", "fig7",
+		"\"queue management overhead limits the peak performance of the application-managed queues to just 50% of the DRAM baseline\"",
+		func(r *report.Report) (bool, string) {
+			return peakIn(r.Table("fig7").FindSeries("swqueue 1us"), 0.4, 0.6)
+		})
+	add("fig7.prefetch-dominates-1us", "fig7",
+		"at 1us the prefetch path beats software queues at every thread count (LFBs suffice; SWQ pays management overhead)",
+		func(r *report.Report) (bool, string) {
+			return orderedEverywhere(r.Table("fig7"), "prefetch 1us", "swqueue 1us", 0.01)
+		})
+	add("fig7.swq-scales-past-lfb", "fig7",
+		"at 4us the SWQ peak is ~2x the LFB-limited prefetch plateau",
+		func(r *report.Report) (bool, string) {
+			return peakRatioIn(r.Table("fig7"), "swqueue 4us", "prefetch 4us", 1.5, 2.5)
+		})
+
+	// ---- Fig 8: multicore software queues (§V-C) ----
+	add("fig8.core-scaling-order", "fig8",
+		"\"achieve linear performance improvement as core count increases\": 1us peaks strictly ordered 8c > 4c > 2c > 1c",
+		func(r *report.Report) (bool, string) {
+			return orderedPeaks(r.Table("fig8"), 0.2, "1us 8c", "1us 4c", "1us 2c", "1us 1c")
+		})
+	add("fig8.request-rate-wall", "fig8",
+		"\"at eight cores, the system encounters a request-rate bottleneck of the PCIe interface\": 2x scaling through 4 cores, sub-1.8x to 8",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig8")
+			if ok, d := peakRatioIn(t, "1us 2c", "1us 1c", 1.8, 2.2); !ok {
+				return false, d
+			}
+			if ok, d := peakRatioIn(t, "1us 4c", "1us 2c", 1.8, 2.2); !ok {
+				return false, d
+			}
+			return peakRatioIn(t, "1us 8c", "1us 4c", 1.2, 1.8)
+		})
+	add("fig8.latency-parity", "fig8",
+		"2/4us results are \"analogous, achieving identical peaks at proportionally higher thread counts\"",
+		func(r *report.Report) (bool, string) {
+			return peakRatioIn(r.Table("fig8"), "4us 8c", "1us 8c", 0.9, 1.1)
+		})
+
+	// ---- Fig 9: software queues with MLP (§V-C) ----
+	add("fig9.mlp-order", "fig9",
+		"single-core SWQ peaks fall with MLP (paper: 50% / 45% / 35% for 1/2/4 reads)",
+		func(r *report.Report) (bool, string) {
+			return orderedPeaks(r.Table("fig9"), 0.05, "1c 1-read", "1c 2-read", "1c 4-read")
+		})
+	add("fig9.single-core-band", "fig9",
+		"the single-core 1-read SWQ peak sits at ~half the DRAM baseline",
+		func(r *report.Report) (bool, string) {
+			return peakIn(r.Table("fig9").FindSeries("1c 1-read"), 0.4, 0.6)
+		})
+	add("fig9.mlp4-four-cores", "fig9",
+		"\"the four-core system [reaches] just 1.3x performance relative to the DRAM baseline\" at MLP 4",
+		func(r *report.Report) (bool, string) {
+			return peakIn(r.Table("fig9").FindSeries("4c 4-read"), 1.0, 1.4)
+		})
+
+	// ---- Fig 10: application case studies (§V-D) ----
+	add("fig10.prefetch-band", "fig10a",
+		"single-core prefetch puts the applications \"between 35% to 65% of the DRAM baseline\"",
+		func(r *report.Report) (bool, string) {
+			return appPeaksIn(r.Table("fig10a"), 0.3, 0.7)
+		})
+	add("fig10.swq-band", "fig10b",
+		"single-core queues \"only reach 20% to 50%\"",
+		func(r *report.Report) (bool, string) {
+			return appPeaksIn(r.Table("fig10b"), 0.15, 0.55)
+		})
+	add("fig10.apps-track-ubench", "fig10a",
+		"\"the application behavior is very similar to the microbenchmark behavior in the presence of MLP\": Bloom and Memcached track the 4-read microbenchmark",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig10a")
+			_, ub := t.FindSeries("ubench-w200-r4").Peak()
+			for _, app := range []string{"bloom-k4", "memcached-v4"} {
+				_, y := t.FindSeries(app).Peak()
+				if math.IsNaN(y) || math.Abs(y-ub) > 0.05 {
+					return false, fmt.Sprintf("%s peak %.3f vs ubench %.3f (want within 0.05)", app, y, ub)
+				}
+			}
+			return true, fmt.Sprintf("bloom/memcached peaks within 0.05 of ubench %.3f", ub)
+		})
+	add("fig10.8c-prefetch-flat", "fig10c",
+		"8-core prefetch: hardware queues \"fundamentally prevent adequate application performance\" — flat regardless of threads",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("fig10c")
+			for _, s := range t.Series {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, y := range s.Y {
+					v := float64(y)
+					if math.IsNaN(v) {
+						continue
+					}
+					lo, hi = math.Min(lo, v), math.Max(hi, v)
+				}
+				if hi <= 0 || (hi-lo)/hi > 0.15 {
+					return false, fmt.Sprintf("%s varies %.3f-%.3f (> 15%%)", s.Label, lo, hi)
+				}
+			}
+			return true, "every series flat within 15% across the thread sweep"
+		})
+	add("fig10.8c-swq-scale", "fig10d",
+		"8-core queues peak \"between 1.2x to 2.0x of the DRAM baseline performance of a single core\"",
+		func(r *report.Report) (bool, string) {
+			return appPeaksIn(r.Table("fig10d"), 1.2, 2.2)
+		})
+
+	return cs
+}
+
+// appPeaksIn asserts every Fig 10 application series peaks in [lo, hi].
+func appPeaksIn(t *report.Table, lo, hi float64) (bool, string) {
+	detail := ""
+	for _, app := range fig10Apps {
+		s := t.FindSeries(app)
+		if s == nil {
+			return false, fmt.Sprintf("series %q absent", app)
+		}
+		_, y := s.Peak()
+		detail += fmt.Sprintf(" %s:%.3f", app, y)
+		if !within(y, lo, hi) {
+			return false, fmt.Sprintf("%s peak %.3f outside [%.2f, %.2f]", app, y, lo, hi)
+		}
+	}
+	return true, fmt.Sprintf("app peaks%s all in [%.2f, %.2f]", detail, lo, hi)
+}

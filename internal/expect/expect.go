@@ -1,0 +1,254 @@
+// Package expect encodes the paper's qualitative claims — previously
+// prose in EXPERIMENTS.md — as typed, machine-checkable assertions over
+// a machine-readable run report (internal/report). Each claim is a
+// Check with a stable ID; evaluating a report yields one Verdict per
+// claim, and `kurec check -claims` turns the verdicts into a CI gate.
+//
+// Assertions are shape-level, matching how the reproduction compares
+// against the paper (EXPERIMENTS.md): monotonicity, knee location,
+// plateau value ± tolerance, series ordering, and crossover index —
+// never exact cell values (those are pinned by the golden-baseline
+// diff, report.Compare). Tolerances are calibrated so every claim
+// passes on both the publication sweep and the -quick sweep's coarser
+// thread grid.
+package expect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/report"
+)
+
+// Status of one evaluated claim.
+const (
+	Pass = "PASS"
+	Fail = "FAIL"
+	Skip = "SKIP" // a table the claim needs is absent from the report
+)
+
+// Check is one paper claim as a typed assertion.
+type Check struct {
+	// ID is the stable assertion identifier, e.g. "fig3.knee".
+	ID string
+	// Tables lists the table IDs the claim reads; if any is absent the
+	// claim is skipped, so single-figure reports evaluate cleanly.
+	Tables []string
+	// Claim is the paper's prose (quoted or paraphrased).
+	Claim string
+	// Eval runs the assertion, returning pass/fail and a measured
+	// detail string for the verdict.
+	Eval func(r *report.Report) (bool, string)
+}
+
+// Verdict is the structured outcome of one claim.
+type Verdict struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Claim  string `json:"claim"`
+	Detail string `json:"detail"`
+}
+
+// Evaluate runs the checks against the report, in order.
+func Evaluate(r *report.Report, checks []Check) []Verdict {
+	out := make([]Verdict, 0, len(checks))
+	for _, c := range checks {
+		v := Verdict{ID: c.ID, Claim: c.Claim}
+		missing := ""
+		for _, id := range c.Tables {
+			if r.Table(id) == nil {
+				missing = id
+				break
+			}
+		}
+		if missing != "" {
+			v.Status = Skip
+			v.Detail = fmt.Sprintf("table %s absent from report", missing)
+		} else if ok, detail := c.Eval(r); ok {
+			v.Status = Pass
+			v.Detail = detail
+		} else {
+			v.Status = Fail
+			v.Detail = detail
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Count tallies verdicts by status.
+func Count(vs []Verdict) (pass, fail, skip int) {
+	for _, v := range vs {
+		switch v.Status {
+		case Pass:
+			pass++
+		case Fail:
+			fail++
+		default:
+			skip++
+		}
+	}
+	return
+}
+
+// ---- typed assertion primitives ----
+
+// within reports lo <= v <= hi (false for NaN).
+func within(v, lo, hi float64) bool {
+	return !math.IsNaN(v) && v >= lo && v <= hi
+}
+
+// peakIn asserts the series peak lies in [lo, hi].
+func peakIn(s *report.Series, lo, hi float64) (bool, string) {
+	if s == nil {
+		return false, "series absent"
+	}
+	x, y := s.Peak()
+	return within(y, lo, hi), fmt.Sprintf("peak %.3f at x=%g (want [%.2f, %.2f])", y, x, lo, hi)
+}
+
+// kneeIn asserts the x where the series first reaches frac of its peak
+// lies in [lo, hi].
+func kneeIn(s *report.Series, frac, lo, hi float64) (bool, string) {
+	if s == nil {
+		return false, "series absent"
+	}
+	k := s.KneeX(frac)
+	return within(k, lo, hi),
+		fmt.Sprintf("%.0f%%-of-peak knee at x=%g (want [%g, %g])", frac*100, k, lo, hi)
+}
+
+// plateauNear asserts the series' final value lies within tol of want —
+// the saturation-plateau check.
+func plateauNear(s *report.Series, want, tol float64) (bool, string) {
+	if s == nil {
+		return false, "series absent"
+	}
+	last := s.Last()
+	return within(last, want-tol, want+tol),
+		fmt.Sprintf("plateau %.3f (want %.2f ± %.2f)", last, want, tol)
+}
+
+// flatAfterKnee asserts the series never falls more than frac below its
+// peak once the peak region is reached: (peak - last) / peak <= frac.
+func flatAfterKnee(s *report.Series, frac float64) (bool, string) {
+	if s == nil {
+		return false, "series absent"
+	}
+	_, peak := s.Peak()
+	last := s.Last()
+	if math.IsNaN(peak) || peak <= 0 {
+		return false, "no finite peak"
+	}
+	drop := (peak - last) / peak
+	return drop <= frac, fmt.Sprintf("drops %.1f%% from peak %.3f to final %.3f (allow %.0f%%)",
+		drop*100, peak, last, frac*100)
+}
+
+// orderedPeaks asserts the named series have strictly decreasing peaks,
+// each separated by at least margin (relative to the larger peak).
+func orderedPeaks(t *report.Table, margin float64, labels ...string) (bool, string) {
+	prev := math.Inf(1)
+	detail := ""
+	ok := true
+	for i, label := range labels {
+		s := t.FindSeries(label)
+		if s == nil {
+			return false, fmt.Sprintf("series %q absent", label)
+		}
+		_, y := s.Peak()
+		if i > 0 {
+			detail += " > "
+		}
+		detail += fmt.Sprintf("%s:%.3f", label, y)
+		if math.IsNaN(y) || y > prev*(1-margin) {
+			ok = false
+		}
+		prev = y
+	}
+	return ok, detail
+}
+
+// orderedEverywhere asserts a >= b at every shared x (with slack as an
+// absolute allowance), the per-cell latency/series dominance check.
+func orderedEverywhere(t *report.Table, hi, lo string, slack float64) (bool, string) {
+	a, b := t.FindSeries(hi), t.FindSeries(lo)
+	if a == nil || b == nil {
+		return false, fmt.Sprintf("series %q or %q absent", hi, lo)
+	}
+	for i := range a.X {
+		x := float64(a.X[i])
+		ya, yb := float64(a.Y[i]), b.YAt(x)
+		if math.IsNaN(yb) {
+			continue
+		}
+		if math.IsNaN(ya) || ya+slack < yb {
+			return false, fmt.Sprintf("%s=%.3f < %s=%.3f at x=%g", hi, ya, lo, yb, x)
+		}
+	}
+	return true, fmt.Sprintf("%s >= %s at every shared x", hi, lo)
+}
+
+// monotoneNonDecreasing asserts the series never drops by more than
+// slack between consecutive x values.
+func monotoneNonDecreasing(s *report.Series, slack float64) (bool, string) {
+	if s == nil {
+		return false, "series absent"
+	}
+	for i := 1; i < len(s.Y); i++ {
+		prev, cur := float64(s.Y[i-1]), float64(s.Y[i])
+		if math.IsNaN(prev) || math.IsNaN(cur) {
+			continue
+		}
+		if cur < prev-slack {
+			return false, fmt.Sprintf("drops %.3f -> %.3f at x=%g", prev, cur, float64(s.X[i]))
+		}
+	}
+	return true, "monotone non-decreasing"
+}
+
+// crossoverIn asserts the first x where series a exceeds factor × series
+// b lies in [lo, hi] — the crossover-index assertion.
+func crossoverIn(t *report.Table, a, b string, factor, lo, hi float64) (bool, string) {
+	sa, sb := t.FindSeries(a), t.FindSeries(b)
+	if sa == nil || sb == nil {
+		return false, fmt.Sprintf("series %q or %q absent", a, b)
+	}
+	for i := range sa.X {
+		x := float64(sa.X[i])
+		ya, yb := float64(sa.Y[i]), sb.YAt(x)
+		if math.IsNaN(ya) || math.IsNaN(yb) {
+			continue
+		}
+		if ya >= factor*yb {
+			return within(x, lo, hi),
+				fmt.Sprintf("%s first exceeds %.2fx %s at x=%g (want [%g, %g])", a, factor, b, x, lo, hi)
+		}
+	}
+	return false, fmt.Sprintf("%s never exceeds %.2fx %s", a, factor, b)
+}
+
+// peakRatioIn asserts peak(a)/peak(b) lies in [lo, hi].
+func peakRatioIn(t *report.Table, a, b string, lo, hi float64) (bool, string) {
+	sa, sb := t.FindSeries(a), t.FindSeries(b)
+	if sa == nil || sb == nil {
+		return false, fmt.Sprintf("series %q or %q absent", a, b)
+	}
+	_, ya := sa.Peak()
+	_, yb := sb.Peak()
+	if yb == 0 || math.IsNaN(ya) || math.IsNaN(yb) {
+		return false, "peaks unavailable"
+	}
+	r := ya / yb
+	return within(r, lo, hi), fmt.Sprintf("peak(%s)/peak(%s) = %.2f (want [%g, %g])", a, b, r, lo, hi)
+}
+
+// valueRatioAt asserts y_a(x)/y_b(x) lies in [lo, hi] at one x.
+func valueRatioAt(t *report.Table, a, b string, x, lo, hi float64) (bool, string) {
+	ya, yb := t.FindSeries(a).YAt(x), t.FindSeries(b).YAt(x)
+	if yb == 0 || math.IsNaN(ya) || math.IsNaN(yb) {
+		return false, fmt.Sprintf("cells at x=%g unavailable", x)
+	}
+	r := ya / yb
+	return within(r, lo, hi), fmt.Sprintf("%s/%s = %.2f at x=%g (want [%g, %g])", a, b, r, x, lo, hi)
+}

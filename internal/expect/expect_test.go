@@ -1,0 +1,168 @@
+package expect
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// tbl builds a one-table report from label -> (x, y) curves.
+func tbl(id string, series map[string][][2]float64) *report.Report {
+	t := &report.Table{ID: id, Title: id, XLabel: "x", YLabel: "y"}
+	for label, pts := range series {
+		s := &report.Series{Label: label}
+		for _, p := range pts {
+			s.X = append(s.X, report.Float(p[0]))
+			s.Y = append(s.Y, report.Float(p[1]))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return &report.Report{Schema: report.SchemaName, Version: report.SchemaVersion,
+		Tool: "test", Tables: []*report.Table{t}}
+}
+
+func curve(pts ...[2]float64) [][2]float64 { return pts }
+
+func TestPrimitives(t *testing.T) {
+	r := tbl("fig", map[string][][2]float64{
+		"hi":   curve([2]float64{1, 0.5}, [2]float64{2, 0.9}, [2]float64{4, 1.0}, [2]float64{8, 0.98}),
+		"lo":   curve([2]float64{1, 0.2}, [2]float64{2, 0.4}, [2]float64{4, 0.5}, [2]float64{8, 0.5}),
+		"rise": curve([2]float64{1, 0.1}, [2]float64{2, 0.4}, [2]float64{4, 0.9}, [2]float64{8, 1.8}),
+	})
+	tab := r.Table("fig")
+
+	if ok, _ := peakIn(tab.FindSeries("hi"), 0.9, 1.1); !ok {
+		t.Error("peakIn rejected a peak of 1.0")
+	}
+	if ok, _ := peakIn(tab.FindSeries("hi"), 1.1, 1.2); ok {
+		t.Error("peakIn accepted an out-of-band peak")
+	}
+	if ok, d := kneeIn(tab.FindSeries("hi"), 0.9, 2, 2); !ok {
+		t.Errorf("kneeIn: first y >= 0.9*peak is at x=2: %s", d)
+	}
+	if ok, _ := plateauNear(tab.FindSeries("lo"), 0.5, 0.05); !ok {
+		t.Error("plateauNear rejected final value 0.5")
+	}
+	if ok, _ := flatAfterKnee(tab.FindSeries("hi"), 0.05); !ok {
+		t.Error("flatAfterKnee rejected a 2% droop with 5% allowance")
+	}
+	if ok, _ := flatAfterKnee(tab.FindSeries("hi"), 0.01); ok {
+		t.Error("flatAfterKnee accepted a 2% droop with 1% allowance")
+	}
+	if ok, d := orderedPeaks(tab, 0.2, "hi", "lo"); !ok {
+		t.Errorf("orderedPeaks: 1.0 then 0.5 with 20%% margin should pass: %s", d)
+	}
+	if ok, _ := orderedPeaks(tab, 0.2, "lo", "hi"); ok {
+		t.Error("orderedPeaks accepted an inverted ordering")
+	}
+	if ok, d := orderedEverywhere(tab, "hi", "lo", 0); !ok {
+		t.Errorf("orderedEverywhere: hi dominates lo: %s", d)
+	}
+	if ok, _ := orderedEverywhere(tab, "lo", "hi", 0); ok {
+		t.Error("orderedEverywhere accepted a dominated series")
+	}
+	if ok, _ := monotoneNonDecreasing(tab.FindSeries("rise"), 0); !ok {
+		t.Error("monotoneNonDecreasing rejected a rising series")
+	}
+	if ok, _ := monotoneNonDecreasing(tab.FindSeries("hi"), 0.01); ok {
+		t.Error("monotoneNonDecreasing missed the 1.0 -> 0.98 drop with slack 0.01")
+	}
+	if ok, _ := monotoneNonDecreasing(tab.FindSeries("hi"), 0.05); !ok {
+		t.Error("monotoneNonDecreasing should absorb the droop with slack 0.05")
+	}
+	// rise exceeds 1.5x lo first at x=4 (0.9 vs 0.5*1.5=0.75).
+	if ok, d := crossoverIn(tab, "rise", "lo", 1.5, 4, 4); !ok {
+		t.Errorf("crossoverIn: %s", d)
+	}
+	if ok, _ := crossoverIn(tab, "lo", "hi", 1.5, 1, 8); ok {
+		t.Error("crossoverIn found a crossover that never happens")
+	}
+	if ok, _ := peakRatioIn(tab, "rise", "lo", 3.5, 3.7); !ok {
+		t.Error("peakRatioIn rejected 1.8/0.5 = 3.6")
+	}
+	if ok, _ := valueRatioAt(tab, "hi", "lo", 2, 2.2, 2.3); !ok {
+		t.Error("valueRatioAt rejected 0.9/0.4 = 2.25 at x=2")
+	}
+}
+
+func TestPrimitivesDegradeOnNil(t *testing.T) {
+	if ok, _ := peakIn(nil, 0, 1); ok {
+		t.Error("peakIn passed on a nil series")
+	}
+	if ok, _ := kneeIn(nil, 0.9, 0, 1); ok {
+		t.Error("kneeIn passed on a nil series")
+	}
+	if ok, _ := plateauNear(nil, 1, 1); ok {
+		t.Error("plateauNear passed on a nil series")
+	}
+	if !within(0.5, 0, 1) || within(math.NaN(), 0, 1) {
+		t.Error("within mishandles NaN")
+	}
+}
+
+func TestEvaluateSkipsMissingTables(t *testing.T) {
+	r := tbl("fig3", map[string][][2]float64{
+		"1us": curve([2]float64{1, 0.5}, [2]float64{2, 1.0}),
+	})
+	checks := []Check{
+		{ID: "a", Tables: []string{"fig3"}, Claim: "c",
+			Eval: func(r *report.Report) (bool, string) { return true, "ok" }},
+		{ID: "b", Tables: []string{"fig7"}, Claim: "c",
+			Eval: func(r *report.Report) (bool, string) { t.Fatal("evaluated a skipped claim"); return false, "" }},
+		{ID: "c", Tables: []string{"fig3"}, Claim: "c",
+			Eval: func(r *report.Report) (bool, string) { return false, "bad" }},
+	}
+	vs := Evaluate(r, checks)
+	if vs[0].Status != Pass || vs[1].Status != Skip || vs[2].Status != Fail {
+		t.Fatalf("verdicts = %+v", vs)
+	}
+	if !strings.Contains(vs[1].Detail, "fig7") {
+		t.Fatalf("skip detail should name the missing table: %q", vs[1].Detail)
+	}
+	pass, fail, skip := Count(vs)
+	if pass != 1 || fail != 1 || skip != 1 {
+		t.Fatalf("Count = %d %d %d", pass, fail, skip)
+	}
+}
+
+func TestClaimsAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Claim == "" || c.Eval == nil || len(c.Tables) == 0 {
+			t.Errorf("claim %+v is missing a field", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) < 25 {
+		t.Errorf("only %d claims registered; the paper suite has more", len(seen))
+	}
+}
+
+func TestClaimsSkipOnPartialReport(t *testing.T) {
+	// A single-figure report must evaluate with skips, never panics.
+	r := tbl("fig3", map[string][][2]float64{
+		"1us": curve([2]float64{1, 0.5}, [2]float64{10, 0.97}, [2]float64{16, 0.96}),
+		"2us": curve([2]float64{1, 0.25}, [2]float64{10, 0.49}, [2]float64{16, 0.49}),
+		"4us": curve([2]float64{1, 0.12}, [2]float64{10, 0.24}, [2]float64{16, 0.24}),
+	})
+	vs := Evaluate(r, Claims())
+	pass, fail, skip := Count(vs)
+	if skip == 0 {
+		t.Fatal("claims for absent figures should skip")
+	}
+	if fail > 0 {
+		for _, v := range vs {
+			if v.Status == Fail {
+				t.Errorf("unexpected failure %s: %s", v.ID, v.Detail)
+			}
+		}
+	}
+	if pass == 0 {
+		t.Fatal("fig3 claims should pass on the synthetic fig3 table")
+	}
+}

@@ -34,6 +34,9 @@ type Suite struct {
 	// UseReplay applies the two-run record/replay methodology to the
 	// application benchmarks.
 	UseReplay bool
+	// Quick marks the reduced sweep; recorded in run reports so a
+	// quick artifact is never diffed against a publication baseline.
+	Quick bool
 }
 
 // Default returns the publication sweep.
@@ -53,6 +56,7 @@ func Quick() Suite {
 	s.Iterations = 800
 	s.AppLookups = 200
 	s.Threads = []int{1, 2, 4, 8, 10, 16}
+	s.Quick = true
 	return s
 }
 
@@ -93,6 +97,37 @@ func must(r core.Result, err error) core.Result {
 // latencies swept in the latency figures.
 var latencies = []sim.Time{1 * sim.Microsecond, 2 * sim.Microsecond, 4 * sim.Microsecond}
 
+// fig2WorkCounts is the work-per-access sweep of Fig 2; fig4WorkCounts
+// the (shorter) one of Fig 4. Exported to run reports via Spec.
+var (
+	fig2WorkCounts = []int{100, 200, 500, 1000, 2000, 5000}
+	fig4WorkCounts = []int{100, 200, 500, 1000}
+	mlpLevels      = []int{1, 2, 4}
+)
+
+// KroneckerSeed is the fixed seed of the BFS input graph (§IV-C); it is
+// part of a run's parameterization and therefore stamped into reports.
+const KroneckerSeed = 20180610
+
+// runDiag extracts the report-facing per-cell diagnostics of one run.
+func runDiag(r core.Result) stats.RunDiag {
+	return stats.RunDiag{
+		Accesses:          r.Accesses,
+		P50Ns:             r.Diag.AccessP50Ns,
+		P99Ns:             r.Diag.AccessP99Ns,
+		P999Ns:            r.Diag.AccessP999Ns,
+		MeanLFBOccupancy:  r.Diag.MeanLFBOccupancy,
+		MeanChipOccupancy: r.Diag.MeanChipOccupancy,
+		SimEvents:         r.Diag.SimEvents,
+	}
+}
+
+// addRun appends a measured device run to the series, normalized to
+// base and carrying the run's diagnostics into reports.
+func addRun(series *stats.Series, x float64, r core.Result, base core.Result) {
+	series.AddRun(x, r.NormalizedTo(base.Measurement), runDiag(r))
+}
+
 func latLabel(l sim.Time) string { return fmt.Sprintf("%gus", l.Microseconds()) }
 
 func (s Suite) ubench(reads, work int) *workload.Microbench {
@@ -108,15 +143,14 @@ func (s Suite) Fig2() *stats.Table {
 		XLabel: "work instructions per access",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	workCounts := []int{100, 200, 500, 1000, 2000, 5000}
 	for _, lat := range latencies {
 		cfg := s.Base.WithLatency(lat)
 		series := t.AddSeries(latLabel(lat))
-		for _, w := range workCounts {
+		for _, w := range fig2WorkCounts {
 			wl := s.ubench(1, w)
 			base := must(core.RunDRAMBaseline(cfg, wl))
 			dev := must(core.RunOnDemandDevice(cfg, wl))
-			series.Add(float64(w), dev.NormalizedTo(base.Measurement))
+			addRun(series, float64(w), dev, base)
 		}
 	}
 	t.Note("drop is abysmal at moderate work counts; only ~5000-instruction work partially abates it (§V-A)")
@@ -139,7 +173,7 @@ func (s Suite) Fig3() *stats.Table {
 		series := t.AddSeries(latLabel(lat))
 		for _, n := range s.Threads {
 			r := must(core.RunPrefetch(cfg, wl, n, false))
-			series.Add(float64(n), r.NormalizedTo(base.Measurement))
+			addRun(series, float64(n), r, base)
 		}
 	}
 	if s1 := t.FindSeries("1us"); s1 != nil {
@@ -159,13 +193,13 @@ func (s Suite) Fig4() *stats.Table {
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
 	cfg := s.Base // 1us default
-	for _, w := range []int{100, 200, 500, 1000} {
+	for _, w := range fig4WorkCounts {
 		wl := s.ubench(1, w)
 		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("work=%d", w))
 		for _, n := range s.Threads {
 			r := must(core.RunPrefetch(cfg, wl, n, false))
-			series.Add(float64(n), r.NormalizedTo(base.Measurement))
+			addRun(series, float64(n), r, base)
 		}
 	}
 	return t
@@ -191,7 +225,7 @@ func (s Suite) Fig5() *stats.Table {
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
 			for _, n := range s.Threads {
 				r := must(core.RunPrefetch(cfg, wl, n, false))
-				series.Add(float64(n), r.NormalizedTo(base.Measurement))
+				addRun(series, float64(n), r, base)
 				if r.Diag.MaxChipQueue > maxChip {
 					maxChip = r.Diag.MaxChipQueue
 				}
@@ -216,13 +250,13 @@ func (s Suite) Fig6() *stats.Table {
 		YLabel: "normalized work IPC (vs MLP-matched DRAM)",
 	}
 	cfg := s.Base
-	for _, reads := range []int{1, 2, 4} {
+	for _, reads := range mlpLevels {
 		wl := s.ubench(reads, workload.DefaultWorkCount)
 		base := must(core.RunDRAMBaseline(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("%d-read", reads))
 		for _, n := range s.Threads {
 			r := must(core.RunPrefetch(cfg, wl, n, false))
-			series.Add(float64(n), r.NormalizedTo(base.Measurement))
+			addRun(series, float64(n), r, base)
 		}
 		knee := series.SaturationX(0.97)
 		t.Note("%d-read saturates at ~%.0f threads (paper: %d)", reads, knee,
@@ -249,8 +283,8 @@ func (s Suite) Fig7() *stats.Table {
 		pf := t.AddSeries("prefetch " + latLabel(lat))
 		sq := t.AddSeries("swqueue " + latLabel(lat))
 		for _, n := range threads {
-			pf.Add(float64(n), must(core.RunPrefetch(cfg, wl, n, false)).NormalizedTo(base.Measurement))
-			sq.Add(float64(n), must(core.RunSWQueue(cfg, wl, n, false)).NormalizedTo(base.Measurement))
+			addRun(pf, float64(n), must(core.RunPrefetch(cfg, wl, n, false)), base)
+			addRun(sq, float64(n), must(core.RunSWQueue(cfg, wl, n, false)), base)
 		}
 	}
 	if sq := t.FindSeries("swqueue 1us"); sq != nil {
@@ -280,7 +314,7 @@ func (s Suite) Fig8() *stats.Table {
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
 			for _, n := range threads {
 				r := must(core.RunSWQueue(cfg, wl, n, false))
-				series.Add(float64(n), r.NormalizedTo(base.Measurement))
+				addRun(series, float64(n), r, base)
 				if cores == 8 {
 					if r.Diag.UpstreamGBps > gbps {
 						gbps = r.Diag.UpstreamGBps
@@ -305,18 +339,18 @@ func (s Suite) Fig9() *stats.Table {
 	}
 	threads := append(append([]int{}, s.Threads...), 24, 32)
 	for _, cores := range []int{1, 4} {
-		for _, reads := range []int{1, 2, 4} {
+		for _, reads := range mlpLevels {
 			wl := s.ubench(reads, workload.DefaultWorkCount)
 			base := must(core.RunDRAMBaseline(s.Base, wl))
 			cfg := s.Base.WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%dc %d-read", cores, reads))
 			for _, n := range threads {
 				r := must(core.RunSWQueue(cfg, wl, n, false))
-				series.Add(float64(n), r.NormalizedTo(base.Measurement))
+				addRun(series, float64(n), r, base)
 			}
 		}
 	}
-	for _, reads := range []int{1, 2, 4} {
+	for _, reads := range mlpLevels {
 		if series := t.FindSeries(fmt.Sprintf("1c %d-read", reads)); series != nil {
 			_, y := series.Peak()
 			t.Note("single-core %d-read peak %.2f (paper: %.2f)", reads, y,
@@ -378,7 +412,7 @@ func (s Suite) Fig10() []*stats.Table {
 				} else {
 					r = must(core.RunSWQueue(cfg, wl, n, s.UseReplay && wl != ub4))
 				}
-				series.Add(float64(n), r.NormalizedTo(base.Measurement))
+				addRun(series, float64(n), r, base)
 			}
 		}
 		tables = append(tables, t)
@@ -386,14 +420,56 @@ func (s Suite) Fig10() []*stats.Table {
 	return tables
 }
 
+// Experiment is one named step of a sweep plan: the experiment ID plus
+// a closure producing its table(s). Surfacing the plan (instead of one
+// monolithic All) lets the CLI report per-table progress and lets the
+// report layer know what ran.
+type Experiment struct {
+	ID  string
+	Run func() []*stats.Table
+}
+
+// one adapts a single-table experiment method into a plan step.
+func one(id string, f func() *stats.Table) Experiment {
+	return Experiment{ID: id, Run: func() []*stats.Table { return []*stats.Table{f()} }}
+}
+
+// PaperPlan returns every paper experiment (figures + ablations) in
+// paper order as named plan steps.
+func (s Suite) PaperPlan() []Experiment {
+	return []Experiment{
+		one("fig2", s.Fig2),
+		one("fig3", s.Fig3),
+		one("fig4", s.Fig4),
+		one("fig5", s.Fig5),
+		one("fig6", s.Fig6),
+		one("fig7", s.Fig7),
+		one("fig8", s.Fig8),
+		one("fig9", s.Fig9),
+		{ID: "fig10", Run: s.Fig10},
+		one("ablation-lfb", s.AblationLFB),
+		one("ablation-chipq", s.AblationChipQueue),
+		one("ablation-rule", s.AblationRule),
+		one("ablation-switch", s.AblationSwitchCost),
+		one("ablation-swqopts", s.AblationSWQOpts),
+	}
+}
+
+// RunPlan executes the plan steps in order, invoking step (when
+// non-nil) before each one with the step index and ID, and returns the
+// concatenated tables.
+func RunPlan(plan []Experiment, step func(i int, id string)) []*stats.Table {
+	var tables []*stats.Table
+	for i, e := range plan {
+		if step != nil {
+			step(i, e.ID)
+		}
+		tables = append(tables, e.Run()...)
+	}
+	return tables
+}
+
 // All runs every figure and returns the tables in paper order.
 func (s Suite) All() []*stats.Table {
-	tables := []*stats.Table{
-		s.Fig2(), s.Fig3(), s.Fig4(), s.Fig5(), s.Fig6(), s.Fig7(), s.Fig8(), s.Fig9(),
-	}
-	tables = append(tables, s.Fig10()...)
-	tables = append(tables,
-		s.AblationLFB(), s.AblationChipQueue(), s.AblationRule(),
-		s.AblationSwitchCost(), s.AblationSWQOpts())
-	return tables
+	return RunPlan(s.PaperPlan(), nil)
 }

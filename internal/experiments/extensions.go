@@ -280,11 +280,23 @@ func (s Suite) ExpLocality() *stats.Table {
 	return t
 }
 
+// ExtensionPlan returns the beyond-the-paper experiments as named plan
+// steps.
+func (s Suite) ExtensionPlan() []Experiment {
+	return []Experiment{
+		one("ext-kernelq", s.ExpKernelQueue),
+		one("ext-smt", s.ExpSMT),
+		one("ext-writes", s.ExpWrites),
+		one("ext-membus", s.ExpMemBus),
+		one("ext-tail", s.ExpTailLatency),
+		one("ext-ptrchase", s.ExpPointerChase),
+		one("ext-devices", s.ExpDevices),
+		one("ext-locality", s.ExpLocality),
+		{ID: "ext-faults", Run: s.ExpFaults},
+	}
+}
+
 // Extensions runs every beyond-the-paper experiment.
 func (s Suite) Extensions() []*stats.Table {
-	tables := []*stats.Table{
-		s.ExpKernelQueue(), s.ExpSMT(), s.ExpWrites(), s.ExpMemBus(),
-		s.ExpTailLatency(), s.ExpPointerChase(), s.ExpDevices(), s.ExpLocality(),
-	}
-	return append(tables, s.ExpFaults()...)
+	return RunPlan(s.ExtensionPlan(), nil)
 }

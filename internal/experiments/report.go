@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Report packages a sweep's tables as a machine-readable run report:
+// the JSON artifact `killerusec -json` writes and `kurec check`
+// validates, claim-checks, and diffs. The report stamps the full
+// parameterization (suite fields plus the constants the experiment
+// code bakes in), the platform's Table I constants, and the build
+// environment, so every artifact is self-describing.
+func (s Suite) Report(tables []*stats.Table) *report.Report {
+	latUs := make([]float64, len(latencies))
+	for i, l := range latencies {
+		latUs[i] = l.Microseconds()
+	}
+	return &report.Report{
+		Schema:   report.SchemaName,
+		Version:  report.SchemaVersion,
+		Tool:     "killerusec",
+		Build:    report.CurrentBuild(),
+		Platform: report.PlatformFrom(s.Base),
+		Sweep: report.Sweep{
+			Quick:         s.Quick,
+			Iterations:    s.Iterations,
+			AppLookups:    s.AppLookups,
+			Threads:       append([]int(nil), s.Threads...),
+			UseReplay:     s.UseReplay,
+			LatenciesUs:   latUs,
+			WorkCounts:    append([]int(nil), fig2WorkCounts...),
+			MLPLevels:     append([]int(nil), mlpLevels...),
+			KroneckerSeed: KroneckerSeed,
+		},
+		Tables: report.FromTables(tables),
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// tinyReportSuite keeps the determinism test fast: two thread counts,
+// few iterations.
+func tinyReportSuite() Suite {
+	s := Quick()
+	s.Iterations = 200
+	s.AppLookups = 40
+	s.Threads = []int{1, 4}
+	return s
+}
+
+// TestReportDeterministic is the reproducibility acceptance check: the
+// same seed and flags must produce a byte-identical JSON report.
+func TestReportDeterministic(t *testing.T) {
+	s := tinyReportSuite()
+	a, err := s.Report([]*stats.Table{s.Fig3()}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Report([]*stats.Table{s.Fig3()}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different report bytes")
+	}
+}
+
+func TestReportValidatesAndStampsSweep(t *testing.T) {
+	s := tinyReportSuite()
+	r := s.Report([]*stats.Table{s.Fig3()})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sweep.Quick || r.Sweep.Iterations != 200 || r.Sweep.AppLookups != 40 {
+		t.Fatalf("sweep stamp = %+v", r.Sweep)
+	}
+	if len(r.Sweep.Threads) != 2 || r.Sweep.LatenciesUs[0] != 1 {
+		t.Fatalf("sweep stamp = %+v", r.Sweep)
+	}
+	if r.Sweep.KroneckerSeed != KroneckerSeed {
+		t.Fatalf("seed = %d", r.Sweep.KroneckerSeed)
+	}
+	if r.Platform.LFBPerCore != s.Base.LFBPerCore {
+		t.Fatalf("platform stamp = %+v", r.Platform)
+	}
+	// Every measured cell of fig3 must carry its run diagnostics.
+	fig3 := r.Table("fig3")
+	if fig3 == nil {
+		t.Fatal("fig3 table missing from report")
+	}
+	for _, series := range fig3.Series {
+		if len(series.Diags) != len(series.X) {
+			t.Fatalf("series %q: %d diags for %d cells", series.Label, len(series.Diags), len(series.X))
+		}
+		for i, d := range series.Diags {
+			if d == nil || d.Accesses == 0 || d.SimEvents == 0 {
+				t.Fatalf("series %q cell %d has empty diagnostics: %+v", series.Label, i, d)
+			}
+		}
+	}
+}
+
+func TestRunPlanStepsInOrder(t *testing.T) {
+	s := tinyReportSuite()
+	var ids []string
+	plan := s.PaperPlan()[:2]
+	tables := RunPlan(plan, func(i int, id string) { ids = append(ids, id) })
+	if len(tables) != 2 || tables[0].ID != "fig2" || tables[1].ID != "fig3" {
+		t.Fatalf("tables = %v", tables)
+	}
+	if len(ids) != 2 || ids[0] != "fig2" || ids[1] != "fig3" {
+		t.Fatalf("step callbacks = %v", ids)
+	}
+}

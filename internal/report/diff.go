@@ -1,0 +1,160 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DiffOpt tunes the cell comparison. A cell (got, want) is within
+// tolerance when |got-want| <= AbsTol, or when the relative delta
+// |got-want| / |want| <= RelTol. The absolute floor keeps near-zero
+// cells (e.g. 0.024 vs 0.025 at one thread) from tripping the relative
+// gate on noise that is invisible at figure scale.
+type DiffOpt struct {
+	RelTol float64
+	AbsTol float64
+	// Top bounds the worst-regressions list (default 10).
+	Top int
+}
+
+// DefaultDiffOpt is the CI regression gate's tolerance: 5% relative
+// drift with a 0.01 absolute floor.
+func DefaultDiffOpt() DiffOpt { return DiffOpt{RelTol: 0.05, AbsTol: 0.01, Top: 10} }
+
+// CellDelta is one compared cell.
+type CellDelta struct {
+	Table  string
+	Series string
+	X      float64
+	Got    float64
+	Want   float64
+	Rel    float64 // |got-want| / |want| (Inf when want is 0 and got isn't)
+}
+
+func (c CellDelta) String() string {
+	return fmt.Sprintf("%s/%s x=%g: got %.4f want %.4f (rel %.1f%%)",
+		c.Table, c.Series, c.X, c.Got, c.Want, c.Rel*100)
+}
+
+// Diff is the structured result of comparing a candidate report (got)
+// against a golden baseline (want).
+type Diff struct {
+	MissingTables []string // in want, absent from got
+	ExtraTables   []string // in got, absent from want
+	MissingSeries []string // "table/series" in want, absent from got
+	ExtraSeries   []string
+	MissingCells  []string // "table/series@x" in want, absent from got
+	Compared      int      // cells compared
+	Exceeded      []CellDelta
+	Worst         []CellDelta // top deltas by relative drift, within or beyond tolerance
+	MaxRel        float64
+}
+
+// Clean reports whether the candidate matches the baseline within
+// tolerance: nothing missing and no cell beyond the gate. Extra tables
+// or series (a grown sweep) do not fail the diff — they are reported
+// but a baseline refresh, not a regression.
+func (d *Diff) Clean() bool {
+	return len(d.MissingTables) == 0 && len(d.MissingSeries) == 0 &&
+		len(d.MissingCells) == 0 && len(d.Exceeded) == 0
+}
+
+// Compare diffs got against the golden want, cell by cell.
+func Compare(got, want *Report, opt DiffOpt) *Diff {
+	if opt.Top <= 0 {
+		opt.Top = 10
+	}
+	d := &Diff{}
+	var all []CellDelta
+	for _, wt := range want.Tables {
+		gt := got.Table(wt.ID)
+		if gt == nil {
+			d.MissingTables = append(d.MissingTables, wt.ID)
+			continue
+		}
+		for _, ws := range wt.Series {
+			gs := gt.FindSeries(ws.Label)
+			if gs == nil {
+				d.MissingSeries = append(d.MissingSeries, wt.ID+"/"+ws.Label)
+				continue
+			}
+			for i := range ws.X {
+				x := float64(ws.X[i])
+				wy := float64(ws.Y[i])
+				gy := gs.YAt(x)
+				if math.IsNaN(gy) && !math.IsNaN(wy) {
+					d.MissingCells = append(d.MissingCells,
+						fmt.Sprintf("%s/%s@%g", wt.ID, ws.Label, x))
+					continue
+				}
+				if math.IsNaN(wy) {
+					// Baseline holds no value for this cell; nothing to gate.
+					continue
+				}
+				d.Compared++
+				delta := CellDelta{Table: wt.ID, Series: ws.Label, X: x, Got: gy, Want: wy}
+				abs := math.Abs(gy - wy)
+				if wy != 0 {
+					delta.Rel = abs / math.Abs(wy)
+				} else if abs > 0 {
+					delta.Rel = math.Inf(1)
+				}
+				if delta.Rel > d.MaxRel {
+					d.MaxRel = delta.Rel
+				}
+				all = append(all, delta)
+				if abs > opt.AbsTol && delta.Rel > opt.RelTol {
+					d.Exceeded = append(d.Exceeded, delta)
+				}
+			}
+		}
+	}
+	for _, gt := range got.Tables {
+		if want.Table(gt.ID) == nil {
+			d.ExtraTables = append(d.ExtraTables, gt.ID)
+			continue
+		}
+		for _, gs := range gt.Series {
+			if want.Table(gt.ID).FindSeries(gs.Label) == nil {
+				d.ExtraSeries = append(d.ExtraSeries, gt.ID+"/"+gs.Label)
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Rel > all[j].Rel })
+	if len(all) > opt.Top {
+		all = all[:opt.Top]
+	}
+	d.Worst = all
+	return d
+}
+
+// Summary renders the diff for humans: totals, structural drift, and
+// the worst-regressions list.
+func (d *Diff) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared %d cells, max relative drift %.2f%%\n", d.Compared, d.MaxRel*100)
+	for _, id := range d.MissingTables {
+		fmt.Fprintf(&b, "MISSING table %s\n", id)
+	}
+	for _, id := range d.MissingSeries {
+		fmt.Fprintf(&b, "MISSING series %s\n", id)
+	}
+	for _, id := range d.MissingCells {
+		fmt.Fprintf(&b, "MISSING cell %s\n", id)
+	}
+	for _, id := range d.ExtraTables {
+		fmt.Fprintf(&b, "extra table %s (not in baseline)\n", id)
+	}
+	for _, id := range d.ExtraSeries {
+		fmt.Fprintf(&b, "extra series %s (not in baseline)\n", id)
+	}
+	for _, c := range d.Exceeded {
+		fmt.Fprintf(&b, "DRIFT %s\n", c.String())
+	}
+	if len(d.Exceeded) == 0 && len(d.Worst) > 0 && d.MaxRel > 0 {
+		fmt.Fprintf(&b, "worst (within tolerance): %s\n", d.Worst[0].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,428 @@
+// Package report defines the versioned, machine-readable run-report
+// schema of the experiment harness: every `killerusec` sweep can be
+// exported as one self-describing JSON artifact holding the per-figure
+// cell values, the full sweep parameterization, the platform constants
+// of the paper's Table I, per-run diagnostics, and build metadata.
+//
+// Reports are the substrate of the results-observability pipeline:
+// internal/expect evaluates the paper's qualitative claims against
+// them, and `kurec check` diffs two reports cell-by-cell to gate
+// regressions in CI. Like the trace layer, report emission is
+// deterministic: the same seed and flags produce a byte-identical file
+// (fields marshal in declaration order, NaN cells render as null, and
+// no wall-clock timestamps are recorded).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// SchemaName identifies the document type; Version is bumped on any
+// incompatible change to the layout below.
+const (
+	SchemaName    = "killerusec-report"
+	SchemaVersion = 1
+)
+
+// Float is a JSON-safe float64: NaN and ±Inf marshal as null (JSON has
+// no encoding for them) and null unmarshals back to NaN, so a missing
+// cell survives a round trip without poisoning arithmetic.
+type Float float64
+
+// MarshalJSON renders non-finite values as null.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON accepts numbers and null (null becomes NaN).
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+// IsNaN reports whether the cell is missing.
+func (f Float) IsNaN() bool { return math.IsNaN(float64(f)) }
+
+// Report is one sweep's complete machine-readable artifact.
+type Report struct {
+	Schema   string   `json:"schema"`
+	Version  int      `json:"version"`
+	Tool     string   `json:"tool"`
+	Build    Build    `json:"build"`
+	Platform Platform `json:"platform"`
+	Sweep    Sweep    `json:"sweep"`
+	Tables   []*Table `json:"tables"`
+}
+
+// Build stamps the environment that produced the report. Wall-clock
+// timestamps are deliberately absent: determinism requires that the
+// same seed and flags yield byte-identical reports.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	Module    string `json:"module"`
+}
+
+// CurrentBuild returns the build stamp of the running binary.
+func CurrentBuild() Build {
+	return Build{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Module:    "repro",
+	}
+}
+
+// Platform restates the paper's Table I constants (and the handful of
+// calibrated costs that shape every figure) from platform.Config, in
+// report-friendly units.
+type Platform struct {
+	CPUFreqGHz        float64 `json:"cpu_freq_ghz"`
+	IssueWidth        int     `json:"issue_width"`
+	WindowSize        int     `json:"window_size"`
+	WorkIPC           float64 `json:"work_ipc"`
+	LFBPerCore        int     `json:"lfb_per_core"`
+	ChipQueueMMIO     int     `json:"chip_queue_mmio"`
+	DRAMLatencyNs     float64 `json:"dram_latency_ns"`
+	PCIeBandwidthGBps float64 `json:"pcie_bandwidth_gbps"`
+	PCIePropagationNs float64 `json:"pcie_propagation_ns"`
+	DeviceLatencyNs   float64 `json:"device_latency_ns"`
+	CtxSwitchNs       float64 `json:"ctx_switch_ns"`
+	FetchBurst        int     `json:"fetch_burst"`
+	DescriptorBytes   int     `json:"descriptor_bytes"`
+}
+
+// PlatformFrom extracts the report's platform stamp from a config.
+func PlatformFrom(c platform.Config) Platform {
+	return Platform{
+		CPUFreqGHz:        c.CPUFreqGHz,
+		IssueWidth:        c.IssueWidth,
+		WindowSize:        c.WindowSize,
+		WorkIPC:           c.WorkIPC,
+		LFBPerCore:        c.LFBPerCore,
+		ChipQueueMMIO:     c.ChipQueueMMIO,
+		DRAMLatencyNs:     c.DRAMLatency.Nanoseconds(),
+		PCIeBandwidthGBps: c.PCIeBandwidth / 1e9,
+		PCIePropagationNs: c.PCIePropagation.Nanoseconds(),
+		DeviceLatencyNs:   c.DeviceLatency.Nanoseconds(),
+		CtxSwitchNs:       c.CtxSwitch.Nanoseconds(),
+		FetchBurst:        c.FetchBurst,
+		DescriptorBytes:   c.DescriptorBytes,
+	}
+}
+
+// Sweep records the full parameterization of the run, enough to
+// reproduce it: `killerusec` flags plus the constants the experiment
+// code bakes in (latency sweep, work counts, MLP levels, the graph
+// generator seed).
+type Sweep struct {
+	Quick         bool      `json:"quick"`
+	Iterations    int       `json:"iterations"`
+	AppLookups    int       `json:"app_lookups"`
+	Threads       []int     `json:"threads"`
+	UseReplay     bool      `json:"use_replay"`
+	LatenciesUs   []float64 `json:"latencies_us"`
+	WorkCounts    []int     `json:"work_counts"`
+	MLPLevels     []int     `json:"mlp_levels"`
+	KroneckerSeed int64     `json:"kronecker_seed"`
+}
+
+// Table mirrors stats.Table: one figure-shaped result.
+type Table struct {
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	XLabel string    `json:"x_label"`
+	YLabel string    `json:"y_label"`
+	Notes  []string  `json:"notes,omitempty"`
+	Series []*Series `json:"series"`
+}
+
+// Series is one labeled curve: X[i] maps to Y[i]; Diags, when present,
+// is index-aligned with X and holds the per-cell run diagnostics (null
+// entries for cells measured without an engine).
+type Series struct {
+	Label string  `json:"label"`
+	X     []Float `json:"x"`
+	Y     []Float `json:"y"`
+	Diags []*Diag `json:"diags,omitempty"`
+}
+
+// Diag is the per-cell slice of core.Diagnostics a report carries.
+type Diag struct {
+	Accesses          int    `json:"accesses"`
+	P50Ns             Float  `json:"p50_ns"`
+	P99Ns             Float  `json:"p99_ns"`
+	P999Ns            Float  `json:"p999_ns"`
+	MeanLFBOccupancy  Float  `json:"mean_lfb_occupancy"`
+	MeanChipOccupancy Float  `json:"mean_chip_occupancy"`
+	SimEvents         uint64 `json:"sim_events"`
+}
+
+// FromTables converts harness tables (with any per-point diagnostics
+// they carry) into report tables.
+func FromTables(tables []*stats.Table) []*Table {
+	out := make([]*Table, 0, len(tables))
+	for _, t := range tables {
+		rt := &Table{
+			ID:     t.ID,
+			Title:  t.Title,
+			XLabel: t.XLabel,
+			YLabel: t.YLabel,
+			Notes:  append([]string(nil), t.Notes...),
+		}
+		for _, s := range t.Series {
+			rs := &Series{Label: s.Label}
+			for i := range s.X {
+				rs.X = append(rs.X, Float(s.X[i]))
+				rs.Y = append(rs.Y, Float(s.Y[i]))
+			}
+			if s.HasDiags() {
+				for _, d := range s.Diags {
+					if d == nil {
+						rs.Diags = append(rs.Diags, nil)
+						continue
+					}
+					rs.Diags = append(rs.Diags, &Diag{
+						Accesses:          d.Accesses,
+						P50Ns:             Float(d.P50Ns),
+						P99Ns:             Float(d.P99Ns),
+						P999Ns:            Float(d.P999Ns),
+						MeanLFBOccupancy:  Float(d.MeanLFBOccupancy),
+						MeanChipOccupancy: Float(d.MeanChipOccupancy),
+						SimEvents:         d.SimEvents,
+					})
+				}
+			}
+			rt.Series = append(rt.Series, rs)
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// Table returns the table with the given ID, or nil.
+func (r *Report) Table(id string) *Table {
+	for _, t := range r.Tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (t *Table) FindSeries(label string) *Series {
+	if t == nil {
+		return nil
+	}
+	for _, s := range t.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// YAt returns the y value at the given x, or NaN if absent.
+func (s *Series) YAt(x float64) float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	for i := range s.X {
+		if float64(s.X[i]) == x {
+			return float64(s.Y[i])
+		}
+	}
+	return math.NaN()
+}
+
+// Peak returns the maximum finite y and the x where it occurs (NaNs for
+// a series with no finite cells).
+func (s *Series) Peak() (x, y float64) {
+	x, y = math.NaN(), math.NaN()
+	if s == nil {
+		return
+	}
+	for i := range s.Y {
+		v := float64(s.Y[i])
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(y) || v > y {
+			x, y = float64(s.X[i]), v
+		}
+	}
+	return
+}
+
+// KneeX returns the smallest x at which y reaches frac of the series
+// peak — the saturation knee.
+func (s *Series) KneeX(frac float64) float64 {
+	_, peak := s.Peak()
+	if math.IsNaN(peak) {
+		return math.NaN()
+	}
+	for i := range s.Y {
+		v := float64(s.Y[i])
+		if !math.IsNaN(v) && v >= frac*peak {
+			return float64(s.X[i])
+		}
+	}
+	return math.NaN()
+}
+
+// Last returns the y value at the largest x with a finite cell.
+func (s *Series) Last() float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	for i := len(s.Y) - 1; i >= 0; i-- {
+		if !math.IsNaN(float64(s.Y[i])) {
+			return float64(s.Y[i])
+		}
+	}
+	return math.NaN()
+}
+
+// Cells returns the number of datapoints in the series.
+func (s *Series) Cells() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Y)
+}
+
+// Validate reports the first schema violation, or nil. It checks the
+// document identity, version, table/series shape invariants, and
+// diagnostic alignment — everything `kurec check` gates on before
+// evaluating claims or diffs.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaName {
+		return fmt.Errorf("report: schema %q, want %q", r.Schema, SchemaName)
+	}
+	if r.Version != SchemaVersion {
+		return fmt.Errorf("report: schema version %d, want %d", r.Version, SchemaVersion)
+	}
+	if r.Tool == "" {
+		return fmt.Errorf("report: empty tool")
+	}
+	if len(r.Tables) == 0 {
+		return fmt.Errorf("report: no tables")
+	}
+	seen := map[string]bool{}
+	for ti, t := range r.Tables {
+		if t == nil {
+			return fmt.Errorf("report: table %d is null", ti)
+		}
+		if t.ID == "" {
+			return fmt.Errorf("report: table %d has no id", ti)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("report: duplicate table id %q", t.ID)
+		}
+		seen[t.ID] = true
+		if len(t.Series) == 0 {
+			return fmt.Errorf("report: table %q has no series", t.ID)
+		}
+		labels := map[string]bool{}
+		for si, s := range t.Series {
+			if s == nil {
+				return fmt.Errorf("report: table %q series %d is null", t.ID, si)
+			}
+			if s.Label == "" {
+				return fmt.Errorf("report: table %q series %d has no label", t.ID, si)
+			}
+			if labels[s.Label] {
+				return fmt.Errorf("report: table %q has duplicate series %q", t.ID, s.Label)
+			}
+			labels[s.Label] = true
+			if len(s.X) != len(s.Y) {
+				return fmt.Errorf("report: table %q series %q: %d x values, %d y values",
+					t.ID, s.Label, len(s.X), len(s.Y))
+			}
+			if len(s.X) == 0 {
+				return fmt.Errorf("report: table %q series %q is empty", t.ID, s.Label)
+			}
+			if s.Diags != nil && len(s.Diags) != len(s.X) {
+				return fmt.Errorf("report: table %q series %q: %d diags for %d cells",
+					t.ID, s.Label, len(s.Diags), len(s.X))
+			}
+			for i, x := range s.X {
+				if x.IsNaN() {
+					return fmt.Errorf("report: table %q series %q: x[%d] is null", t.ID, s.Label, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CellCount returns the total number of datapoints across all tables.
+func (r *Report) CellCount() (tables, series, cells int) {
+	tables = len(r.Tables)
+	for _, t := range r.Tables {
+		series += len(t.Series)
+		for _, s := range t.Series {
+			cells += len(s.Y)
+		}
+	}
+	return
+}
+
+// Encode marshals the report as indented JSON with a trailing newline.
+// Encoding is deterministic: struct fields marshal in declaration
+// order and the document carries no timestamps, so identical runs
+// produce identical bytes.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile encodes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile parses and validates a report file.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -99,6 +99,97 @@ func TestHistogramNilAndEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyAllQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1, -1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Buckets() != 0 {
+		t.Errorf("empty histogram state: min=%d max=%d buckets=%d", h.Min(), h.Max(), h.Buckets())
+	}
+}
+
+func TestHistogramSingleSampleEverywhere(t *testing.T) {
+	// One sample answers every quantile, including the clamped extremes,
+	// across exact, boundary, and bucketed magnitudes.
+	for _, v := range []int64{0, 1, 255, 256, 257, 1 << 20, 1<<40 + 12345} {
+		h := NewHistogram()
+		h.Record(v)
+		for _, q := range []float64{0, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single sample %d: Quantile(%v) = %d", v, q, got)
+			}
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucketing scheme at its edges:
+// the exact/bucketed threshold and power-of-two boundaries, where an
+// off-by-one in bucketIndex/bucketValue would silently misplace samples.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Below histExact every value owns its bucket: index == value.
+	for _, v := range []int64{0, 1, 127, 128, 255} {
+		if got := bucketIndex(v); got != int(v) {
+			t.Errorf("bucketIndex(%d) = %d, want exact identity below %d", v, got, histExact)
+		}
+		if got := bucketValue(int(v)); got != v {
+			t.Errorf("bucketValue(%d) = %d, want identity", v, got)
+		}
+	}
+	// At and beyond the threshold, a value's bucket midpoint must stay
+	// within half a bucket width: 1/256 of the value.
+	for _, v := range []int64{256, 257, 511, 512, 1023, 1024, 1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40} {
+		idx := bucketIndex(v)
+		mid := bucketValue(idx)
+		diff := mid - v
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > float64(v)/256+1 {
+			t.Errorf("bucketValue(bucketIndex(%d)) = %d: off by %d (> v/256)", v, mid, diff)
+		}
+	}
+	// Bucket indexes must be monotone in the sample value.
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestHistogramLogSpacedCorpus holds the bucketed quantile to its design
+// accuracy — half a sub-bucket, 1/256 ≈ 0.39% — on a corpus spanning six
+// decades, against the exact nearest-rank reference.
+func TestHistogramLogSpacedCorpus(t *testing.T) {
+	var samples []int64
+	v := 100.0
+	for v < 1e8 {
+		samples = append(samples, int64(v))
+		v *= 1.013
+	}
+	h := NewHistogram()
+	for _, s := range samples {
+		h.Record(s)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(samples, q)
+		diff := float64(got-want) / float64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1.0/256 {
+			t.Errorf("Quantile(%v) = %d, exact %d: off by %.3f%% (> 0.39%%)",
+				q, got, want, diff*100)
+		}
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram()
 	h.Record(-5)

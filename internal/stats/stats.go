@@ -63,25 +63,68 @@ func (m Measurement) IterationTime() float64 {
 // application benchmarks both sides execute the same iteration count, so
 // this equals the paper's "normalized performance" (baseline execution
 // time over device execution time).
+//
+// A zero, negative, or non-finite baseline throughput (an empty or
+// corrupt baseline run) yields NaN, never ±Inf: NaN renders as "-" in
+// text tables, as an empty cell in CSV, and as null in JSON reports, so
+// a broken baseline is visible instead of leaking an infinity into
+// downstream ratios.
 func (m Measurement) NormalizedTo(baseline Measurement) float64 {
 	b := baseline.WorkIPS()
-	if b == 0 {
+	if b <= 0 || math.IsInf(b, 0) || math.IsNaN(b) {
 		return math.NaN()
 	}
 	return m.WorkIPS() / b
 }
 
+// RunDiag is the per-datapoint diagnostic payload a series can carry
+// into machine-readable reports: the slice of core.Diagnostics that
+// explains one measured cell. stats cannot import core (core imports
+// stats), so the fields are restated here and filled by the experiment
+// harness.
+type RunDiag struct {
+	Accesses          int     // device/DRAM accesses performed
+	P50Ns             float64 // host-observed per-access latency percentiles
+	P99Ns             float64
+	P999Ns            float64
+	MeanLFBOccupancy  float64 // time-weighted mean LFB slots in use (all cores)
+	MeanChipOccupancy float64 // time-weighted mean chip-level MMIO queue occupancy
+	SimEvents         uint64  // engine events executed for this run
+}
+
 // Series is one labeled curve in a figure: y-values sampled at x-values.
+// Diags, when a point was added with AddRun, holds the per-point run
+// diagnostics; it is index-aligned with X/Y and nil-padded for points
+// added without diagnostics.
 type Series struct {
 	Label string
 	X     []float64
 	Y     []float64
+	Diags []*RunDiag
 }
 
-// Add appends a point.
+// Add appends a point without diagnostics.
 func (s *Series) Add(x, y float64) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
+	s.Diags = append(s.Diags, nil)
+}
+
+// AddRun appends a measured point together with its run diagnostics.
+func (s *Series) AddRun(x, y float64, d RunDiag) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Diags = append(s.Diags, &d)
+}
+
+// HasDiags reports whether any point carries run diagnostics.
+func (s *Series) HasDiags() bool {
+	for _, d := range s.Diags {
+		if d != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // Peak returns the maximum y value and the x at which it occurs.

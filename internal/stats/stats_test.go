@@ -36,6 +36,43 @@ func TestNormalizedTo(t *testing.T) {
 	if got := fast.NormalizedTo(Measurement{}); !math.IsNaN(got) {
 		t.Errorf("normalized to zero baseline = %v, want NaN", got)
 	}
+	// Degenerate baselines must yield NaN, never a silent +Inf that
+	// poisons a figure cell.
+	degenerate := []Measurement{
+		{WorkInstr: 100, ElapsedSeconds: 0},           // zero time
+		{WorkInstr: 0, ElapsedSeconds: 1},             // zero work
+		{WorkInstr: 100, ElapsedSeconds: -1},          // negative time
+		{WorkInstr: 100, ElapsedSeconds: math.NaN()},  // corrupt time
+		{WorkInstr: 100, ElapsedSeconds: math.Inf(1)}, // infinite time... IPS 0
+	}
+	for _, b := range degenerate {
+		got := fast.NormalizedTo(b)
+		if !math.IsNaN(got) {
+			t.Errorf("normalized to baseline %+v = %v, want NaN", b, got)
+		}
+	}
+}
+
+func TestSeriesAddRunDiags(t *testing.T) {
+	tab := &Table{ID: "t", Title: "t", XLabel: "x", YLabel: "y"}
+	s := tab.AddSeries("a")
+	s.Add(1, 0.5)
+	if s.HasDiags() {
+		t.Fatal("plain Add should not mark the series as diagnosed")
+	}
+	s.AddRun(2, 0.9, RunDiag{Accesses: 3, P99Ns: 1200, SimEvents: 5})
+	if !s.HasDiags() {
+		t.Fatal("AddRun should mark the series as diagnosed")
+	}
+	if len(s.Diags) != 2 || s.Diags[0] != nil {
+		t.Fatalf("Diags misaligned: %+v", s.Diags)
+	}
+	if s.Diags[1].Accesses != 3 || s.Diags[1].P99Ns != 1200 {
+		t.Fatalf("Diags[1] = %+v", s.Diags[1])
+	}
+	if len(s.X) != 2 || s.Y[1] != 0.9 {
+		t.Fatalf("series cells: x=%v y=%v", s.X, s.Y)
+	}
 }
 
 // Property: normalization is the inverse ratio of iteration times when
