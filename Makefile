@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench figures extensions examples cover clean
+.PHONY: all test race bench figures extensions examples cover clean serve sweep-par
 
 all: test
 
@@ -20,6 +20,15 @@ bench:
 figures:
 	$(GO) run ./cmd/killerusec -all -outdir figures_csv
 
+# Full paper sweep across all cores with an on-disk cell cache —
+# byte-identical output to the serial `figures` target.
+sweep-par:
+	$(GO) run ./cmd/killerusec -all -parallel $(shell nproc 2>/dev/null || sysctl -n hw.ncpu) -cachedir .kucache -outdir figures_csv
+
+# Run the sweep service daemon on :8080.
+serve:
+	$(GO) run ./cmd/kurecd -addr :8080
+
 extensions:
 	$(GO) run ./cmd/killerusec -ext
 
@@ -35,4 +44,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf figures_csv cover.out
+	rm -rf figures_csv cover.out .kucache

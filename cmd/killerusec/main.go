@@ -46,6 +46,8 @@ func main() {
 		outdir   = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every measured run to this file")
 		jsonOut  = flag.String("json", "", "write a machine-readable run report (schema-versioned JSON) to this file; check it with `kurec check`")
+		parallel = flag.Int("parallel", 1, "worker goroutines for independent simulation cells; output is byte-identical at any value")
+		cachedir = flag.String("cachedir", "", "persist cell results to this directory and reuse them across invocations of the same build")
 	)
 	flag.Parse()
 
@@ -70,6 +72,10 @@ func main() {
 	}
 	if *lookups < 0 {
 		fmt.Fprintf(os.Stderr, "killerusec: -lookups %d must be positive\n", *lookups)
+		os.Exit(1)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "killerusec: -parallel %d must be at least 1\n", *parallel)
 		os.Exit(1)
 	}
 
@@ -103,10 +109,29 @@ func main() {
 
 	// Tracing attaches one recorder to the whole invocation: every
 	// measured run lands as its own process in a single Perfetto file.
+	// A trace must contain every run in invocation order, so tracing
+	// forces the direct serial path (no pool, no cache).
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder()
 		suite.Base.Trace = rec
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "killerusec: -trace forces serial uncached execution; ignoring -parallel")
+		}
+	} else {
+		var exec *experiments.Exec
+		if *cachedir != "" {
+			var err error
+			exec, err = experiments.NewExecDisk(*parallel, *cachedir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "killerusec:", err)
+				os.Exit(1)
+			}
+		} else {
+			exec = experiments.NewExec(*parallel)
+		}
+		defer exec.Close()
+		suite.Exec = exec
 	}
 
 	var plan []experiments.Experiment
@@ -196,70 +221,9 @@ func runOne(s experiments.Suite, id string) []*stats.Table {
 }
 
 // planOne maps a user-facing experiment id (with its short aliases)
-// onto a one-element execution plan, or nil if the id is unknown.
+// onto a one-element execution plan, or nil if the id is unknown. The
+// mapping itself lives in the experiments package (PlanFor) so the
+// kurecd server resolves ids identically.
 func planOne(s experiments.Suite, id string) []experiments.Experiment {
-	one := func(pid string, f func() *stats.Table) []experiments.Experiment {
-		return []experiments.Experiment{{ID: pid, Run: func() []*stats.Table {
-			return []*stats.Table{f()}
-		}}}
-	}
-	switch id {
-	case "2", "fig2":
-		return one("fig2", s.Fig2)
-	case "3", "fig3":
-		return one("fig3", s.Fig3)
-	case "4", "fig4":
-		return one("fig4", s.Fig4)
-	case "5", "fig5":
-		return one("fig5", s.Fig5)
-	case "6", "fig6":
-		return one("fig6", s.Fig6)
-	case "7", "fig7":
-		return one("fig7", s.Fig7)
-	case "8", "fig8":
-		return one("fig8", s.Fig8)
-	case "9", "fig9":
-		return one("fig9", s.Fig9)
-	case "10", "fig10":
-		return []experiments.Experiment{{ID: "fig10", Run: s.Fig10}}
-	case "10a", "10b", "10c", "10d", "fig10a", "fig10b", "fig10c", "fig10d":
-		suffix := strings.TrimPrefix(id, "fig")
-		return []experiments.Experiment{{ID: "fig" + suffix, Run: func() []*stats.Table {
-			for _, t := range s.Fig10() {
-				if strings.HasSuffix(t.ID, suffix) {
-					return []*stats.Table{t}
-				}
-			}
-			return nil
-		}}}
-	case "lfb", "ablation-lfb":
-		return one("ablation-lfb", s.AblationLFB)
-	case "chipq", "ablation-chipq":
-		return one("ablation-chipq", s.AblationChipQueue)
-	case "rule", "ablation-rule":
-		return one("ablation-rule", s.AblationRule)
-	case "switch", "ablation-switch":
-		return one("ablation-switch", s.AblationSwitchCost)
-	case "swqopts", "ablation-swqopts":
-		return one("ablation-swqopts", s.AblationSWQOpts)
-	case "kernelq", "ext-kernelq":
-		return one("ext-kernelq", s.ExpKernelQueue)
-	case "smt", "ext-smt":
-		return one("ext-smt", s.ExpSMT)
-	case "writes", "ext-writes":
-		return one("ext-writes", s.ExpWrites)
-	case "membus", "ext-membus":
-		return one("ext-membus", s.ExpMemBus)
-	case "tail", "ext-tail":
-		return one("ext-tail", s.ExpTailLatency)
-	case "ptrchase", "ext-ptrchase":
-		return one("ext-ptrchase", s.ExpPointerChase)
-	case "devices", "ext-devices":
-		return one("ext-devices", s.ExpDevices)
-	case "locality", "ext-locality":
-		return one("ext-locality", s.ExpLocality)
-	case "faults", "ext-faults":
-		return []experiments.Experiment{{ID: "ext-faults", Run: s.ExpFaults}}
-	}
-	return nil
+	return experiments.PlanFor(s, id)
 }

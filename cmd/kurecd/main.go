@@ -1,0 +1,91 @@
+// Command kurecd is the sweep service daemon: it accepts experiment
+// run plans over HTTP, executes them through the parallel cell
+// executor with a shared result cache, and serves progress and
+// finished run reports.
+//
+// Usage:
+//
+//	kurecd -addr :8080 -parallel 8
+//	curl -X POST localhost:8080/v1/runs -d '{"suite":"quick","experiments":["2"]}'
+//	curl localhost:8080/v1/runs/job-0001
+//	curl localhost:8080/v1/runs/job-0001/report | kurec check -in /dev/stdin -claims
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting new
+// work, running and queued jobs finish (bounded by -drain-timeout),
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per job's cell executor")
+		queue        = flag.Int("queue", 8, "maximum number of jobs waiting to run (full queue answers 429)")
+		cacheEntries = flag.Int("cache-entries", 16384, "in-memory result-cache capacity (cells)")
+		cachedir     = flag.String("cachedir", "", "persist cell results to this directory across restarts")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "maximum time to finish outstanding jobs on shutdown")
+	)
+	flag.Parse()
+
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "kurecd: -parallel %d must be at least 1\n", *parallel)
+		os.Exit(1)
+	}
+	if *queue < 1 {
+		fmt.Fprintf(os.Stderr, "kurecd: -queue %d must be at least 1\n", *queue)
+		os.Exit(1)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Parallel:     *parallel,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cachedir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kurecd:", err)
+		os.Exit(1)
+	}
+
+	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kurecd: listening on %s (parallel=%d queue=%d)\n", *addr, *parallel, *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "kurecd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kurecd: %s received, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then let the job
+	// queue run dry.
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "kurecd: http shutdown:", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kurecd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "kurecd: drained cleanly")
+}

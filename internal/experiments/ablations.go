@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,17 +21,19 @@ func (s Suite) AblationLFB() *stats.Table {
 		XLabel: "LFBs per core",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	threads := 100
 	series := t.AddSeries("4us")
+	var cells []pendingCell
 	for _, lfb := range []int{10, 20, 40, 60, 80, 120} {
 		cfg := s.Base.WithLatency(4 * sim.Microsecond)
 		cfg.LFBPerCore = lfb
 		cfg.ChipQueueMMIO = 4096 // isolate the per-core limit
-		base := must(core.RunDRAMBaseline(cfg, wl))
-		r := must(core.RunPrefetch(cfg, wl, threads, false))
-		series.Add(float64(lfb), r.NormalizedTo(base.Measurement))
+		base := s.exec(dramCell(cfg, wl))
+		run := s.exec(prefetchCell(cfg, wl, threads, false))
+		cells = append(cells, pendingCell{series: series, x: float64(lfb), run: run, base: base})
 	}
+	resolve(cells)
 	rule := 20 * 4 // 20 x latency-in-us
 	t.Note("paper's rule sizes the 4us queue at %d entries; the curve should be near DRAM parity there", rule)
 	return t
@@ -48,23 +49,27 @@ func (s Suite) AblationChipQueue() *stats.Table {
 		XLabel: "chip-level queue entries",
 		YLabel: "normalized work IPC (vs single-core DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	stock := t.AddSeries("1us 8c (PCIe Gen2 x8)")
 	fat := t.AddSeries("1us 8c (4x link bandwidth)")
+	var cells []pendingCell
 	for _, q := range []int{14, 28, 56, 112, 160, 224} {
 		cfg := s.Base.WithCores(8)
 		cfg.ChipQueueMMIO = q
 		cfg.LFBPerCore = 20 // per-core rule for 1us
-		base := must(core.RunDRAMBaseline(cfg, wl))
-		stock.Add(float64(q), must(core.RunPrefetch(cfg, wl, 12, false)).NormalizedTo(base.Measurement))
+		base := s.exec(dramCell(cfg, wl))
+		cells = append(cells, pendingCell{series: stock, x: float64(q),
+			run: s.exec(prefetchCell(cfg, wl, 12, false)), base: base})
 
 		// Eight cores at DRAM parity generate ~7.6 GB/s of MMIO
 		// responses — above the Gen2 x8 wire itself. The paper's
 		// suggestion to attach such devices to the memory interconnect
 		// (§V-B) is modeled as a 4x-bandwidth link.
 		cfg.PCIeBandwidth *= 4
-		fat.Add(float64(q), must(core.RunPrefetch(cfg, wl, 12, false)).NormalizedTo(base.Measurement))
+		cells = append(cells, pendingCell{series: fat, x: float64(q),
+			run: s.exec(prefetchCell(cfg, wl, 12, false)), base: base})
 	}
+	resolve(cells)
 	t.Note("paper's rule sizes the chip queue at 20 x 1us x 8 cores = 160 entries")
 	t.Note("on the stock link, queue sizing alone saturates the PCIe wire; a memory-interconnect-class link restores full scaling (§V-B)")
 	return t
@@ -90,6 +95,10 @@ func (s Suite) AblationRule() *stats.Table {
 		4 * sim.Microsecond, 8 * sim.Microsecond} {
 		target := 0.95
 
+		// The search is adaptive — the next cell depends on the last
+		// result — so cells run synchronously; with an executor attached
+		// they still land in the result cache (revisited queue sizes
+		// across the galloping and bisection phases are free).
 		reach := func(lfb int) bool {
 			cfg := s.Base.WithLatency(lat)
 			cfg.LFBPerCore = lfb
@@ -102,9 +111,9 @@ func (s Suite) AblationRule() *stats.Table {
 			if min := threads * 40; iters < min {
 				iters = min
 			}
-			wl := workload.NewMicrobench(iters, workload.DefaultWorkCount, 1)
-			base := must(core.RunDRAMBaseline(cfg, wl))
-			r := must(core.RunPrefetch(cfg, wl, threads, false))
+			wl := WorkloadSpec{Kind: "ubench", Iters: iters, Work: workload.DefaultWorkCount, Reads: 1}
+			base := s.runCell(dramCell(cfg, wl))
+			r := s.runCell(prefetchCell(cfg, wl, threads, false))
 			return r.NormalizedTo(base.Measurement) >= target
 		}
 		// Galloping + binary search over the queue size.
@@ -141,16 +150,18 @@ func (s Suite) AblationSwitchCost() *stats.Table {
 		XLabel: "context switch cost (ns)",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	series := t.AddSeries("1us 10t")
+	var cells []pendingCell
 	for _, ctx := range []sim.Time{20 * sim.Nanosecond, 30 * sim.Nanosecond, 50 * sim.Nanosecond,
 		100 * sim.Nanosecond, 200 * sim.Nanosecond, 500 * sim.Nanosecond, 2 * sim.Microsecond} {
 		cfg := s.Base
 		cfg.CtxSwitch = ctx
-		base := must(core.RunDRAMBaseline(cfg, wl))
-		r := must(core.RunPrefetch(cfg, wl, 10, false))
-		series.Add(ctx.Nanoseconds(), r.NormalizedTo(base.Measurement))
+		base := s.exec(dramCell(cfg, wl))
+		run := s.exec(prefetchCell(cfg, wl, 10, false))
+		cells = append(cells, pendingCell{series: series, x: ctx.Nanoseconds(), run: run, base: base})
 	}
+	resolve(cells)
 	t.Note("the unoptimized 2us Pth switch forfeits nearly all the benefit; 20-50ns preserves it (§IV-B)")
 	return t
 }
@@ -167,7 +178,7 @@ func (s Suite) AblationSWQOpts() *stats.Table {
 		XLabel: "variant (1=full, 2=no doorbell flag, 3=no burst, 4=neither)",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	series := t.AddSeries("1us 16t")
 	variants := []struct {
 		label    string
@@ -179,14 +190,21 @@ func (s Suite) AblationSWQOpts() *stats.Table {
 		{"no-burst", false, true},
 		{"neither", true, true},
 	}
+	// Submit every variant, then resolve in order: the per-variant notes
+	// need each resolved value, so assembly is explicit here.
+	pending := make([]struct{ base, run *Future }, len(variants))
 	for i, v := range variants {
 		cfg := s.Base
 		cfg.SWQAlwaysDoorbell = v.noFlag
 		if v.burstOne {
 			cfg.FetchBurst = 1
 		}
-		base := must(core.RunDRAMBaseline(cfg, wl))
-		r := must(core.RunSWQueue(cfg, wl, 16, false))
+		pending[i].base = s.exec(dramCell(cfg, wl))
+		pending[i].run = s.exec(swqueueCell(cfg, wl, 16, false))
+	}
+	for i, v := range variants {
+		base := must(pending[i].base.Result())
+		r := must(pending[i].run.Result())
 		series.Add(float64(i+1), r.NormalizedTo(base.Measurement))
 		t.Note("variant %d (%s): %.3f", i+1, v.label, r.NormalizedTo(base.Measurement))
 	}

@@ -37,6 +37,13 @@ type Suite struct {
 	// Quick marks the reduced sweep; recorded in run reports so a
 	// quick artifact is never diffed against a publication baseline.
 	Quick bool
+	// Exec, when set, runs cells through a worker pool with a result
+	// cache (see cells.go). Nil means direct serial execution — the
+	// legacy behavior. Execution strategy never changes results: the
+	// figures collect cells in program order, so output is
+	// byte-identical at any worker count. It is not stamped into
+	// reports for the same reason.
+	Exec *Exec
 }
 
 // Default returns the publication sweep.
@@ -134,6 +141,12 @@ func (s Suite) ubench(reads, work int) *workload.Microbench {
 	return workload.NewMicrobench(s.Iterations, work, reads)
 }
 
+// ubenchSpec is the cell-layer counterpart of ubench: a value spec the
+// executor can hash and rebuild per run.
+func (s Suite) ubenchSpec(reads, work int) WorkloadSpec {
+	return WorkloadSpec{Kind: "ubench", Iters: s.Iterations, Work: work, Reads: reads}
+}
+
 // Fig2 — on-demand access of the microsecond device, normalized work IPC
 // versus work-count, for 1/2/4 us devices (§V-A).
 func (s Suite) Fig2() *stats.Table {
@@ -143,16 +156,18 @@ func (s Suite) Fig2() *stats.Table {
 		XLabel: "work instructions per access",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
+	var cells []pendingCell
 	for _, lat := range latencies {
 		cfg := s.Base.WithLatency(lat)
 		series := t.AddSeries(latLabel(lat))
 		for _, w := range fig2WorkCounts {
-			wl := s.ubench(1, w)
-			base := must(core.RunDRAMBaseline(cfg, wl))
-			dev := must(core.RunOnDemandDevice(cfg, wl))
-			addRun(series, float64(w), dev, base)
+			wl := s.ubenchSpec(1, w)
+			base := s.exec(dramCell(cfg, wl))
+			dev := s.exec(onDemandCell(cfg, wl))
+			cells = append(cells, pendingCell{series: series, x: float64(w), run: dev, base: base, diag: true})
 		}
 	}
+	resolve(cells)
 	t.Note("drop is abysmal at moderate work counts; only ~5000-instruction work partially abates it (§V-A)")
 	return t
 }
@@ -166,16 +181,18 @@ func (s Suite) Fig3() *stats.Table {
 		XLabel: "threads",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
+	var cells []pendingCell
 	for _, lat := range latencies {
 		cfg := s.Base.WithLatency(lat)
-		base := must(core.RunDRAMBaseline(cfg, wl))
+		base := s.exec(dramCell(cfg, wl))
 		series := t.AddSeries(latLabel(lat))
 		for _, n := range s.Threads {
-			r := must(core.RunPrefetch(cfg, wl, n, false))
-			addRun(series, float64(n), r, base)
+			run := s.exec(prefetchCell(cfg, wl, n, false))
+			cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true})
 		}
 	}
+	resolve(cells)
 	if s1 := t.FindSeries("1us"); s1 != nil {
 		x, y := s1.Peak()
 		t.Note("1us peak %.2f at %.0f threads (paper: ~DRAM parity at 10 threads)", y, x)
@@ -193,15 +210,17 @@ func (s Suite) Fig4() *stats.Table {
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
 	cfg := s.Base // 1us default
+	var cells []pendingCell
 	for _, w := range fig4WorkCounts {
-		wl := s.ubench(1, w)
-		base := must(core.RunDRAMBaseline(cfg, wl))
+		wl := s.ubenchSpec(1, w)
+		base := s.exec(dramCell(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("work=%d", w))
 		for _, n := range s.Threads {
-			r := must(core.RunPrefetch(cfg, wl, n, false))
-			addRun(series, float64(n), r, base)
+			run := s.exec(prefetchCell(cfg, wl, n, false))
+			cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true})
 		}
 	}
+	resolve(cells)
 	return t
 }
 
@@ -215,26 +234,30 @@ func (s Suite) Fig5() *stats.Table {
 		XLabel: "threads per core",
 		YLabel: "normalized work IPC (vs single-core DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	maxChip := 0
 	meanChip := 0.0
+	track := func(r core.Result) {
+		if r.Diag.MaxChipQueue > maxChip {
+			maxChip = r.Diag.MaxChipQueue
+		}
+		if r.Diag.MeanChipOccupancy > meanChip {
+			meanChip = r.Diag.MeanChipOccupancy
+		}
+	}
+	var cells []pendingCell
 	for _, lat := range latencies {
-		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
+		base := s.exec(dramCell(s.Base.WithLatency(lat), wl))
 		for _, cores := range []int{1, 2, 4, 8} {
 			cfg := s.Base.WithLatency(lat).WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
 			for _, n := range s.Threads {
-				r := must(core.RunPrefetch(cfg, wl, n, false))
-				addRun(series, float64(n), r, base)
-				if r.Diag.MaxChipQueue > maxChip {
-					maxChip = r.Diag.MaxChipQueue
-				}
-				if r.Diag.MeanChipOccupancy > meanChip {
-					meanChip = r.Diag.MeanChipOccupancy
-				}
+				run := s.exec(prefetchCell(cfg, wl, n, false))
+				cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true, post: track})
 			}
 		}
 	}
+	resolve(cells)
 	t.Note("chip-level queue occupancy observed: peak %d, best time-weighted mean %.1f (paper: limit 14)", maxChip, meanChip)
 	return t
 }
@@ -250,15 +273,21 @@ func (s Suite) Fig6() *stats.Table {
 		YLabel: "normalized work IPC (vs MLP-matched DRAM)",
 	}
 	cfg := s.Base
+	var cells []pendingCell
+	seriesByReads := make(map[int]*stats.Series)
 	for _, reads := range mlpLevels {
-		wl := s.ubench(reads, workload.DefaultWorkCount)
-		base := must(core.RunDRAMBaseline(cfg, wl))
+		wl := s.ubenchSpec(reads, workload.DefaultWorkCount)
+		base := s.exec(dramCell(cfg, wl))
 		series := t.AddSeries(fmt.Sprintf("%d-read", reads))
+		seriesByReads[reads] = series
 		for _, n := range s.Threads {
-			r := must(core.RunPrefetch(cfg, wl, n, false))
-			addRun(series, float64(n), r, base)
+			run := s.exec(prefetchCell(cfg, wl, n, false))
+			cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true})
 		}
-		knee := series.SaturationX(0.97)
+	}
+	resolve(cells)
+	for _, reads := range mlpLevels {
+		knee := seriesByReads[reads].SaturationX(0.97)
 		t.Note("%d-read saturates at ~%.0f threads (paper: %d)", reads, knee,
 			map[int]int{1: 10, 2: 5, 4: 3}[reads])
 	}
@@ -275,18 +304,21 @@ func (s Suite) Fig7() *stats.Table {
 		XLabel: "threads",
 		YLabel: "normalized work IPC (vs single-thread DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	threads := append(append([]int{}, s.Threads...), 20, 24, 28, 32)
+	var cells []pendingCell
 	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
 		cfg := s.Base.WithLatency(lat)
-		base := must(core.RunDRAMBaseline(cfg, wl))
+		base := s.exec(dramCell(cfg, wl))
 		pf := t.AddSeries("prefetch " + latLabel(lat))
 		sq := t.AddSeries("swqueue " + latLabel(lat))
 		for _, n := range threads {
-			addRun(pf, float64(n), must(core.RunPrefetch(cfg, wl, n, false)), base)
-			addRun(sq, float64(n), must(core.RunSWQueue(cfg, wl, n, false)), base)
+			cells = append(cells,
+				pendingCell{series: pf, x: float64(n), run: s.exec(prefetchCell(cfg, wl, n, false)), base: base, diag: true},
+				pendingCell{series: sq, x: float64(n), run: s.exec(swqueueCell(cfg, wl, n, false)), base: base, diag: true})
 		}
 	}
+	resolve(cells)
 	if sq := t.FindSeries("swqueue 1us"); sq != nil {
 		_, y := sq.Peak()
 		t.Note("swqueue 1us peak %.2f (paper: ~0.5, capped by queue management overhead)", y)
@@ -304,26 +336,32 @@ func (s Suite) Fig8() *stats.Table {
 		XLabel: "threads per core",
 		YLabel: "normalized work IPC (vs single-core DRAM)",
 	}
-	wl := s.ubench(1, workload.DefaultWorkCount)
+	wl := s.ubenchSpec(1, workload.DefaultWorkCount)
 	threads := append(append([]int{}, s.Threads...), 24, 32, 48)
 	var useful, gbps float64
+	track8c := func(r core.Result) {
+		if r.Diag.UpstreamGBps > gbps {
+			gbps = r.Diag.UpstreamGBps
+			useful = r.Diag.UpstreamUseful
+		}
+	}
+	var cells []pendingCell
 	for _, lat := range []sim.Time{1 * sim.Microsecond, 4 * sim.Microsecond} {
-		base := must(core.RunDRAMBaseline(s.Base.WithLatency(lat), wl))
+		base := s.exec(dramCell(s.Base.WithLatency(lat), wl))
 		for _, cores := range []int{1, 2, 4, 8} {
 			cfg := s.Base.WithLatency(lat).WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%s %dc", latLabel(lat), cores))
+			var post func(core.Result)
+			if cores == 8 {
+				post = track8c
+			}
 			for _, n := range threads {
-				r := must(core.RunSWQueue(cfg, wl, n, false))
-				addRun(series, float64(n), r, base)
-				if cores == 8 {
-					if r.Diag.UpstreamGBps > gbps {
-						gbps = r.Diag.UpstreamGBps
-						useful = r.Diag.UpstreamUseful
-					}
-				}
+				run := s.exec(swqueueCell(cfg, wl, n, false))
+				cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true, post: post})
 			}
 		}
 	}
+	resolve(cells)
 	t.Note("8-core peak useful upstream bandwidth %.2f GB/s at %.0f%% efficiency (paper: ~2 GB/s of 4 GB/s)", gbps, useful*100)
 	return t
 }
@@ -338,18 +376,20 @@ func (s Suite) Fig9() *stats.Table {
 		YLabel: "normalized work IPC (vs MLP-matched single-core DRAM)",
 	}
 	threads := append(append([]int{}, s.Threads...), 24, 32)
+	var cells []pendingCell
 	for _, cores := range []int{1, 4} {
 		for _, reads := range mlpLevels {
-			wl := s.ubench(reads, workload.DefaultWorkCount)
-			base := must(core.RunDRAMBaseline(s.Base, wl))
+			wl := s.ubenchSpec(reads, workload.DefaultWorkCount)
+			base := s.exec(dramCell(s.Base, wl))
 			cfg := s.Base.WithCores(cores)
 			series := t.AddSeries(fmt.Sprintf("%dc %d-read", cores, reads))
 			for _, n := range threads {
-				r := must(core.RunSWQueue(cfg, wl, n, false))
-				addRun(series, float64(n), r, base)
+				run := s.exec(swqueueCell(cfg, wl, n, false))
+				cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true})
 			}
 		}
 	}
+	resolve(cells)
 	for _, reads := range mlpLevels {
 		if series := t.FindSeries(fmt.Sprintf("1c %d-read", reads)); series != nil {
 			_, y := series.Peak()
@@ -360,18 +400,22 @@ func (s Suite) Fig9() *stats.Table {
 	return t
 }
 
-// appSet builds the three §IV-C applications sized for the suite.
-func (s Suite) appSet() []core.Workload {
-	bloom := workload.NewBloom(1<<20, 4, 4096, s.AppLookups, workload.DefaultWorkCount)
-	mc := workload.NewMemcached(4096, 4, s.AppLookups, workload.DefaultWorkCount)
-	g := workload.NewKronecker(10, 16, 20180610)
+// appSpecs describes the three §IV-C applications sized for the suite,
+// in the presentation order of Fig 10 (BFS, Bloom, Memcached).
+func (s Suite) appSpecs() []WorkloadSpec {
 	sources := []int{1, 33, 77, 123, 205, 301, 404, 511, 600, 713, 805, 901, 17, 250, 350, 450}
 	budget := s.AppLookups / len(sources) * 2
 	if budget < 8 {
 		budget = 8
 	}
-	bfs := workload.NewBFS(g, sources, budget, workload.DefaultWorkCount)
-	return []core.Workload{bfs, bloom, mc}
+	return []WorkloadSpec{
+		{Kind: "bfs", BFSScale: 10, BFSEdgeFactor: 16, BFSSeed: KroneckerSeed,
+			BFSSources: sources, BFSMaxVisits: budget, Work: workload.DefaultWorkCount},
+		{Kind: "bloom", BloomBits: 1 << 20, BloomHashes: 4, BloomKeys: 4096,
+			Lookups: s.AppLookups, Work: workload.DefaultWorkCount},
+		{Kind: "memcached", MCItems: 4096, MCValueLines: 4,
+			Lookups: s.AppLookups, Work: workload.DefaultWorkCount},
+	}
 }
 
 // Fig10 — the application case studies: one- and eight-core runs of
@@ -390,9 +434,10 @@ func (s Suite) Fig10() []*stats.Table {
 		{"fig10c", "8-core prefetch-based", 8, "prefetch"},
 		{"fig10d", "8-core software queues", 8, "swqueue"},
 	}
-	apps := s.appSet()
-	ub4 := s.ubench(4, workload.DefaultWorkCount)
+	apps := s.appSpecs()
+	ub4 := s.ubenchSpec(4, workload.DefaultWorkCount)
 	var tables []*stats.Table
+	var cells []pendingCell
 	for _, c := range configs {
 		t := &stats.Table{
 			ID:     c.id,
@@ -401,22 +446,26 @@ func (s Suite) Fig10() []*stats.Table {
 			YLabel: "normalized performance (vs 1-core DRAM baseline)",
 		}
 		cfg := s.Base.WithCores(c.cores)
-		wls := append(append([]core.Workload{}, apps...), ub4)
+		wls := append(append([]WorkloadSpec{}, apps...), ub4)
 		for _, wl := range wls {
-			base := must(core.RunDRAMBaseline(cfg, wl))
+			base := s.exec(dramCell(cfg, wl))
 			series := t.AddSeries(wl.Name())
+			// The microbenchmark comparison point never uses replay (it
+			// has no record/replay methodology in the paper).
+			replay := s.UseReplay && wl.Kind != "ubench"
 			for _, n := range s.Threads {
-				var r core.Result
+				var run *Future
 				if c.mech == "prefetch" {
-					r = must(core.RunPrefetch(cfg, wl, n, s.UseReplay && wl != ub4))
+					run = s.exec(prefetchCell(cfg, wl, n, replay))
 				} else {
-					r = must(core.RunSWQueue(cfg, wl, n, s.UseReplay && wl != ub4))
+					run = s.exec(swqueueCell(cfg, wl, n, replay))
 				}
-				addRun(series, float64(n), r, base)
+				cells = append(cells, pendingCell{series: series, x: float64(n), run: run, base: base, diag: true})
 			}
 		}
 		tables = append(tables, t)
 	}
+	resolve(cells)
 	return tables
 }
 

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// parSuite is a reduced sweep that still exercises every figure and
+// ablation — small enough to run the full paper plan several times.
+func parSuite() Suite {
+	s := Quick()
+	s.Iterations = 300
+	s.AppLookups = 100
+	s.Threads = []int{1, 2, 4}
+	return s
+}
+
+// encodePlan runs the full paper plan under the given executor and
+// returns the canonical report bytes.
+func encodePlan(t *testing.T, s Suite) []byte {
+	t.Helper()
+	b, err := s.Report(RunPlan(s.PaperPlan(), nil)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelByteIdentical is the subsystem's core guarantee: the
+// same suite produces byte-identical reports with no executor and
+// with pools of 1, 4 and 8 workers.
+func TestParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper plan at three worker counts")
+	}
+	base := encodePlan(t, parSuite())
+	for _, workers := range []int{1, 4, 8} {
+		s := parSuite()
+		s.Exec = NewExec(workers)
+		got := encodePlan(t, s)
+		s.Exec.Close()
+		if !bytes.Equal(got, base) {
+			t.Errorf("parallel=%d report differs from serial report (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestExecDeduplicates: the paper plan re-runs many identical cells
+// (shared DRAM baselines above all); with an executor attached they
+// must be computed once and served from the store afterwards.
+func TestExecDeduplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full paper plan")
+	}
+	s := parSuite()
+	s.Exec = NewExec(4)
+	defer s.Exec.Close()
+	encodePlan(t, s)
+	cs := s.Exec.CacheStats()
+	es := s.Exec.Stats()
+	if cs.Misses == 0 {
+		t.Fatal("no cells computed")
+	}
+	if es.Dedup == 0 {
+		t.Error("no deduplicated submissions — baseline deduplication is not working")
+	}
+	t.Logf("distinct cells %d (computed %d), deduplicated submissions %d", es.Cells, cs.Misses, es.Dedup)
+}
+
+// TestWorkloadSpecNames pins the contract Fig10 relies on: a spec's
+// Name (used for series labels without building the workload) must
+// equal the built workload's Name.
+func TestWorkloadSpecNames(t *testing.T) {
+	s := Quick()
+	specs := append(s.appSpecs(),
+		s.ubenchSpec(1, workload.DefaultWorkCount),
+		s.ubenchSpec(4, 500),
+		WorkloadSpec{Kind: "ubench", Iters: 100, Work: 200, Reads: 2, Writes: 1},
+		WorkloadSpec{Kind: "ptrchase", ChaseNodes: 64, Iters: 100, Work: 200},
+	)
+	for _, spec := range specs {
+		if got, want := spec.Name(), spec.Build().Name(); got != want {
+			t.Errorf("spec %q Name() = %q, built Name() = %q", spec.Kind, got, want)
+		}
+	}
+}
+
+// TestCellKeyDiscriminates: distinct parameterizations must never
+// collide, and the trace recorder must not affect the key.
+func TestCellKeyDiscriminates(t *testing.T) {
+	s := Quick()
+	wl := s.ubenchSpec(1, 500)
+	base := dramCell(s.Base, wl)
+	seen := map[string]string{}
+	add := func(label string, c CellSpec) {
+		k := c.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %s and %s", prev, label)
+		}
+		seen[k] = label
+	}
+	add("dram", base)
+	add("ondemand", onDemandCell(s.Base, wl))
+	add("prefetch t1", prefetchCell(s.Base, wl, 1, false))
+	add("prefetch t2", prefetchCell(s.Base, wl, 2, false))
+	add("prefetch t2 replay", prefetchCell(s.Base, wl, 2, true))
+	add("swqueue t2", swqueueCell(s.Base, wl, 2, false))
+	add("dram 2c", dramCell(s.Base.WithCores(2), wl))
+	add("dram work=501", dramCell(s.Base, s.ubenchSpec(1, 501)))
+	if base.Key() != dramCell(s.Base, s.ubenchSpec(1, 500)).Key() {
+		t.Error("identical cells produced different keys")
+	}
+}
+
+// TestPlanFor spot-checks the shared id resolver used by the CLI and
+// the server.
+func TestPlanFor(t *testing.T) {
+	s := Quick()
+	for _, id := range []string{"2", "fig9", "10c", "lfb", "ext-tail", "faults"} {
+		if PlanFor(s, id) == nil {
+			t.Errorf("PlanFor(%q) = nil, want a plan", id)
+		}
+	}
+	if PlanFor(s, "fig99") != nil {
+		t.Error("PlanFor accepted an unknown id")
+	}
+	if got := PlanFor(s, "7")[0].ID; got != "fig7" {
+		t.Errorf("PlanFor(7) ID = %q", got)
+	}
+}
+
+func ExampleSuite_parallel() {
+	s := Quick()
+	s.Iterations = 200
+	s.Threads = []int{1, 2}
+	s.Exec = NewExec(4)
+	defer s.Exec.Close()
+	tb := s.Fig2()
+	fmt.Println(tb.ID, len(tb.Series) > 0)
+	// Output: fig2 true
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// PlanFor maps a user-facing experiment id (with its short aliases)
+// onto a one-element execution plan, or nil if the id is unknown. It
+// is the single id resolver shared by the killerusec CLI and the
+// kurecd server, so both accept exactly the same names.
+func PlanFor(s Suite, id string) []Experiment {
+	one := func(pid string, f func() *stats.Table) []Experiment {
+		return []Experiment{{ID: pid, Run: func() []*stats.Table {
+			return []*stats.Table{f()}
+		}}}
+	}
+	switch id {
+	case "2", "fig2":
+		return one("fig2", s.Fig2)
+	case "3", "fig3":
+		return one("fig3", s.Fig3)
+	case "4", "fig4":
+		return one("fig4", s.Fig4)
+	case "5", "fig5":
+		return one("fig5", s.Fig5)
+	case "6", "fig6":
+		return one("fig6", s.Fig6)
+	case "7", "fig7":
+		return one("fig7", s.Fig7)
+	case "8", "fig8":
+		return one("fig8", s.Fig8)
+	case "9", "fig9":
+		return one("fig9", s.Fig9)
+	case "10", "fig10":
+		return []Experiment{{ID: "fig10", Run: s.Fig10}}
+	case "10a", "10b", "10c", "10d", "fig10a", "fig10b", "fig10c", "fig10d":
+		suffix := strings.TrimPrefix(id, "fig")
+		return []Experiment{{ID: "fig" + suffix, Run: func() []*stats.Table {
+			for _, t := range s.Fig10() {
+				if strings.HasSuffix(t.ID, suffix) {
+					return []*stats.Table{t}
+				}
+			}
+			return nil
+		}}}
+	case "lfb", "ablation-lfb":
+		return one("ablation-lfb", s.AblationLFB)
+	case "chipq", "ablation-chipq":
+		return one("ablation-chipq", s.AblationChipQueue)
+	case "rule", "ablation-rule":
+		return one("ablation-rule", s.AblationRule)
+	case "switch", "ablation-switch":
+		return one("ablation-switch", s.AblationSwitchCost)
+	case "swqopts", "ablation-swqopts":
+		return one("ablation-swqopts", s.AblationSWQOpts)
+	case "kernelq", "ext-kernelq":
+		return one("ext-kernelq", s.ExpKernelQueue)
+	case "smt", "ext-smt":
+		return one("ext-smt", s.ExpSMT)
+	case "writes", "ext-writes":
+		return one("ext-writes", s.ExpWrites)
+	case "membus", "ext-membus":
+		return one("ext-membus", s.ExpMemBus)
+	case "tail", "ext-tail":
+		return one("ext-tail", s.ExpTailLatency)
+	case "ptrchase", "ext-ptrchase":
+		return one("ext-ptrchase", s.ExpPointerChase)
+	case "devices", "ext-devices":
+		return one("ext-devices", s.ExpDevices)
+	case "locality", "ext-locality":
+		return one("ext-locality", s.ExpLocality)
+	case "faults", "ext-faults":
+		return []Experiment{{ID: "ext-faults", Run: s.ExpFaults}}
+	}
+	return nil
+}

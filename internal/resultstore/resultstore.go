@@ -1,0 +1,244 @@
+// Package resultstore is a content-addressed cache for deterministic
+// simulation results. A key canonically hashes the full cell
+// parameterization (mechanism, platform config, workload spec, thread
+// count) plus a build stamp; because every cell is a pure function of
+// that parameterization, a cached value is indistinguishable from a
+// fresh run, and repeated cells — the DRAM baselines every normalized
+// figure shares — are computed once per process.
+//
+// The store layers an in-memory LRU (bounded entry count) over an
+// optional on-disk directory (gob-encoded, one file per key), and
+// deduplicates concurrent computations of the same key: when several
+// pool workers reach an identical cell at once, one executes and the
+// rest wait for its value (single-flight).
+package resultstore
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key returns the canonical content address of a cell: the hex SHA-256
+// of its parts joined with an unambiguous separator. Callers pass
+// canonical renderings (e.g. fmt %#v of a config struct) plus a build
+// stamp so that results never survive a code change on disk.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d\x00%s\x00", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Entries  int    // values resident in memory
+	Hits     uint64 // memory-layer hits
+	DiskHits uint64 // disk-layer hits (misses in memory)
+	Misses   uint64 // full misses: the cell was computed
+	Evicted  uint64 // LRU evictions from the memory layer
+}
+
+// Store caches values of type V under content-address keys.
+type Store[V any] struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	ll       *list.List // front = most recently used
+	inflight map[string]*call[V]
+	stats    Stats
+
+	dir string // optional disk layer; "" = memory only
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// call tracks one in-flight computation other callers can wait on.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a memory-only store holding at most maxEntries values
+// (maxEntries < 1 is treated as 1).
+func New[V any](maxEntries int) *Store[V] {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Store[V]{
+		max:      maxEntries,
+		entries:  make(map[string]*list.Element),
+		ll:       list.New(),
+		inflight: make(map[string]*call[V]),
+	}
+}
+
+// Open returns a store backed by dir: values are additionally
+// gob-encoded to one file per key, so results persist across
+// processes. The directory is created if needed.
+func Open[V any](dir string, maxEntries int) (*Store[V], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := New[V](maxEntries)
+	s.dir = dir
+	return s, nil
+}
+
+// Do returns the value cached under key, computing it with compute on
+// a miss. Concurrent Do calls with the same key share one execution.
+// Errors are returned to every waiter of that execution but are never
+// cached: a later Do retries the computation.
+func (s *Store[V]) Do(key string, compute func() (V, error)) (V, error) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		v := el.Value.(*lruEntry[V]).val
+		s.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	fromDisk := false
+	if v, ok := s.readDisk(key); ok {
+		c.val, fromDisk = v, true
+	} else {
+		c.val, c.err = compute()
+	}
+	close(c.done)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.insert(key, c.val)
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Misses++
+		}
+	}
+	s.mu.Unlock()
+	if c.err == nil && !fromDisk {
+		s.writeDisk(key, c.val)
+	}
+	return c.val, c.err
+}
+
+// Get returns the value cached in memory or on disk, without
+// computing anything.
+func (s *Store[V]) Get(key string) (V, bool) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		v := el.Value.(*lruEntry[V]).val
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	if v, ok := s.readDisk(key); ok {
+		s.mu.Lock()
+		s.insert(key, v)
+		s.stats.DiskHits++
+		s.mu.Unlock()
+		return v, true
+	}
+	var zero V
+	return zero, false
+}
+
+// insert adds key to the memory layer, evicting from the LRU tail.
+// Callers hold s.mu.
+func (s *Store[V]) insert(key string, v V) {
+	if el, ok := s.entries[key]; ok { // lost a race with another path
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	for s.ll.Len() > s.max {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.entries, tail.Value.(*lruEntry[V]).key)
+		s.stats.Evicted++
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store[V]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// path maps a key to its disk file. Keys are hex hashes, so they are
+// safe path components; a two-character fan-out keeps directories
+// small.
+func (s *Store[V]) path(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(s.dir, key+".gob")
+	}
+	return filepath.Join(s.dir, key[:2], key[2:]+".gob")
+}
+
+// readDisk loads a value from the disk layer; a missing or undecodable
+// file is a miss (a corrupt entry is recomputed and rewritten, never
+// fatal).
+func (s *Store[V]) readDisk(key string) (V, bool) {
+	var zero V
+	if s.dir == "" {
+		return zero, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return zero, false
+	}
+	var v V
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return zero, false
+	}
+	return v, true
+}
+
+// writeDisk stores a value in the disk layer; failures are silently
+// dropped (the cache is an accelerator, not a system of record).
+func (s *Store[V]) writeDisk(key string, v V) {
+	if s.dir == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	// Write-then-rename so a crashed process never leaves a torn file
+	// that readDisk would have to reject.
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, p)
+}

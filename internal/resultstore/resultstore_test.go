@@ -1,0 +1,195 @@
+package resultstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key("prefetch", "cfg1", "wl1")
+	b := Key("prefetch", "cfg1", "wl1")
+	if a != b {
+		t.Fatal("identical parts produced different keys")
+	}
+	if a == Key("prefetch", "cfg1", "wl2") {
+		t.Fatal("different parts produced equal keys")
+	}
+	// The length-prefixed encoding must not let adjacent parts bleed
+	// into each other.
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("part boundaries are ambiguous")
+	}
+}
+
+func TestDoCachesAndCounts(t *testing.T) {
+	s := New[int](8)
+	var computed atomic.Int32
+	f := func() (int, error) { computed.Add(1); return 42, nil }
+
+	for i := 0; i < 3; i++ {
+		v, err := s.Do("k", f)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = (%d, %v)", v, err)
+		}
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	s := New[int](8)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := s.Do("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if v, err := s.Do("k", func() (int, error) { calls++; return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("retry = (%d, %v)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New[int](2)
+	mk := func(v int) func() (int, error) { return func() (int, error) { return v, nil } }
+	s.Do("a", mk(1))
+	s.Do("b", mk(2))
+	s.Do("a", mk(1)) // refresh a; b is now the LRU tail
+	s.Do("c", mk(3)) // evicts b
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if st := s.Stats(); st.Evicted != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSingleFlight: concurrent Do calls with one key run the compute
+// function exactly once and all observe its value.
+func TestSingleFlight(t *testing.T) {
+	s := New[int](8)
+	var computed atomic.Int32
+	gate := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.Do("k", func() (int, error) {
+				computed.Add(1)
+				<-gate
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("waiter %d saw %d", i, v)
+		}
+	}
+}
+
+type diskVal struct {
+	Label string
+	N     float64
+}
+
+func TestDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diskVal{Label: "cell", N: 1.25}
+	if _, err := s1.Do("k", func() (diskVal, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory (a fresh process) must hit
+	// disk instead of recomputing.
+	s2, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s2.Do("k", func() (diskVal, error) {
+		t.Error("recomputed despite disk entry")
+		return diskVal{}, nil
+	})
+	if err != nil || v != want {
+		t.Fatalf("disk round trip = (%+v, %v), want %+v", v, err, want)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCorruptDiskEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("cell")
+	// Plant garbage where the entry would live.
+	p := filepath.Join(dir, key[:2], key[2:]+".gob")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Do(key, func() (diskVal, error) { return diskVal{N: 3}, nil })
+	if err != nil || v.N != 3 {
+		t.Fatalf("Do over corrupt entry = (%+v, %v)", v, err)
+	}
+	// The rewrite must repair the file for the next store.
+	s2, _ := Open[diskVal](dir, 4)
+	if got, ok := s2.Get(key); !ok || got.N != 3 {
+		t.Fatalf("repaired entry = (%+v, %v)", got, ok)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	s := New[int](2)
+	if v, ok := s.Get("absent"); ok || v != 0 {
+		t.Fatalf("Get(absent) = (%d, %v)", v, ok)
+	}
+}
+
+func ExampleStore_Do() {
+	s := New[string](16)
+	v, _ := s.Do(Key("fig3", "baseline"), func() (string, error) { return "computed", nil })
+	fmt.Println(v)
+	v, _ = s.Do(Key("fig3", "baseline"), func() (string, error) { return "never runs", nil })
+	fmt.Println(v)
+	// Output:
+	// computed
+	// computed
+}

@@ -1,0 +1,109 @@
+// Package runpool provides the bounded worker pool that executes
+// independent simulation cells across CPU cores. Each submitted job is
+// a self-contained deterministic computation (a core.Run* invocation);
+// the pool adds wall-clock parallelism without touching result
+// content, because callers collect results from the returned Task
+// handles in their own (deterministic) program order — the same seed
+// and flags therefore produce byte-identical output regardless of the
+// worker count.
+//
+// The pool is deliberately small: fixed workers, a bounded submission
+// queue for backpressure, per-job panic isolation (a panicking job
+// fails its own Task instead of tearing down the process), and
+// cancellation through a context.Context that fails queued-but-unrun
+// jobs fast.
+package runpool
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool runs submitted jobs on a fixed set of worker goroutines.
+type Pool struct {
+	ctx  context.Context
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New returns a pool with the given worker count and submission-queue
+// depth. workers < 1 is treated as 1; queue < 0 as 0 (rendezvous).
+// The context cancels queued jobs: once ctx is done, jobs that have
+// not started return ctx.Err() from Wait without running.
+func New(ctx context.Context, workers, queue int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{ctx: ctx, jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops accepting jobs and waits for every started job to
+// finish. It is safe to call more than once; Submit after Close
+// panics (a harness bug, like sending on a closed channel).
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}
+
+// Task is the handle of one submitted job.
+type Task[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Wait blocks until the job has run (or was cancelled) and returns its
+// result. Wait may be called multiple times and from multiple
+// goroutines.
+func (t *Task[T]) Wait() (T, error) {
+	<-t.done
+	return t.val, t.err
+}
+
+// Submit enqueues f on the pool and returns its handle. Submit blocks
+// while the queue is full (backpressure), unless the pool's context is
+// cancelled first, in which case the task fails with ctx.Err(). A
+// panic inside f is recovered into the task's error.
+func Submit[T any](p *Pool, f func() (T, error)) *Task[T] {
+	t := &Task[T]{done: make(chan struct{})}
+	job := func() {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = fmt.Errorf("runpool: job panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		if err := p.ctx.Err(); err != nil {
+			t.err = err
+			return
+		}
+		t.val, t.err = f()
+	}
+	select {
+	case p.jobs <- job:
+	case <-p.ctx.Done():
+		t.err = p.ctx.Err()
+		close(t.done)
+	}
+	return t
+}

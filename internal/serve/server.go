@@ -1,0 +1,498 @@
+// Package serve implements the kurecd sweep service: a long-running
+// HTTP server that accepts run plans, executes them through the
+// experiments cell executor (worker pool + shared result cache), and
+// serves progress and finished run reports.
+//
+// The API is deliberately small:
+//
+//	POST /v1/runs              enqueue a RunRequest -> 202 + job id
+//	GET  /v1/runs/{id}         job status, progress and ETA
+//	GET  /v1/runs/{id}/report  the finished report (internal/report JSON)
+//	GET  /healthz              liveness (and drain state)
+//	GET  /metrics              Prometheus-style text metrics
+//
+// Jobs wait in a bounded queue (a full queue answers 429 so callers
+// back off) and run one at a time; each job parallelizes internally
+// across the executor's workers. All jobs share one result store, so
+// a re-submitted plan — or any plan sharing cells with an earlier one
+// — is answered largely from cache. Reports produced here are
+// byte-identical to what the killerusec CLI writes for the same suite
+// and plan.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/resultstore"
+)
+
+// RunRequest is the POST /v1/runs body: a suite selector plus the
+// same overrides the killerusec CLI accepts.
+type RunRequest struct {
+	// Suite is "default" (publication sweep, the default) or "quick".
+	Suite string `json:"suite,omitempty"`
+	// Experiments lists experiment ids (CLI names: "2".."10", "lfb",
+	// "ext-tail", ...). Empty means the full paper plan.
+	Experiments []string `json:"experiments,omitempty"`
+	// Iterations and AppLookups override the suite's sweep sizes when
+	// positive.
+	Iterations int `json:"iterations,omitempty"`
+	AppLookups int `json:"app_lookups,omitempty"`
+	// Threads overrides the thread-per-core sweep when non-empty.
+	Threads []int `json:"threads,omitempty"`
+	// UseReplay overrides the record/replay methodology when set.
+	UseReplay *bool `json:"use_replay,omitempty"`
+}
+
+// suite materializes the request's experiment suite.
+func (r RunRequest) suite() (experiments.Suite, error) {
+	var s experiments.Suite
+	switch r.Suite {
+	case "", "default":
+		s = experiments.Default()
+	case "quick":
+		s = experiments.Quick()
+	default:
+		return s, fmt.Errorf("unknown suite %q (want \"default\" or \"quick\")", r.Suite)
+	}
+	if r.Iterations > 0 {
+		s.Iterations = r.Iterations
+	}
+	if r.AppLookups > 0 {
+		s.AppLookups = r.AppLookups
+	}
+	if len(r.Threads) > 0 {
+		s.Threads = append([]int(nil), r.Threads...)
+	}
+	if r.UseReplay != nil {
+		s.UseReplay = *r.UseReplay
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// plan resolves the request's experiment ids against the suite; it is
+// also the submit-time validation that every id exists.
+func (r RunRequest) plan(s experiments.Suite) ([]experiments.Experiment, error) {
+	if len(r.Experiments) == 0 {
+		return s.PaperPlan(), nil
+	}
+	var plan []experiments.Experiment
+	for _, id := range r.Experiments {
+		p := experiments.PlanFor(s, id)
+		if p == nil {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		plan = append(plan, p...)
+	}
+	return plan, nil
+}
+
+// JobState is the lifecycle of one enqueued run.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// job is the server-side record of one run.
+type job struct {
+	id  string
+	req RunRequest
+
+	mu          sync.Mutex
+	state       JobState
+	err         string
+	stepsTotal  int
+	stepsDone   int
+	currentStep string
+	enqueued    time.Time
+	started     time.Time
+	finished    time.Time
+	report      []byte
+	cells       experiments.ExecStats
+}
+
+// Status is the GET /v1/runs/{id} response.
+type Status struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Suite       string   `json:"suite"`
+	StepsTotal  int      `json:"steps_total"`
+	StepsDone   int      `json:"steps_done"`
+	CurrentStep string   `json:"current_step,omitempty"`
+	EnqueuedAt  string   `json:"enqueued_at"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+	ETASeconds  float64  `json:"eta_seconds,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	ReportURL   string   `json:"report_url,omitempty"`
+}
+
+// status snapshots the job under its lock. now is injected so the ETA
+// is computed against the caller's clock.
+func (j *job) status(now time.Time) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Suite:       j.req.Suite,
+		StepsTotal:  j.stepsTotal,
+		StepsDone:   j.stepsDone,
+		CurrentStep: j.currentStep,
+		EnqueuedAt:  j.enqueued.UTC().Format(time.RFC3339),
+		Error:       j.err,
+	}
+	if st.Suite == "" {
+		st.Suite = "default"
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339)
+	}
+	if j.state == StateRunning && j.stepsDone > 0 && j.stepsDone < j.stepsTotal {
+		perStep := now.Sub(j.started).Seconds() / float64(j.stepsDone)
+		st.ETASeconds = perStep * float64(j.stepsTotal-j.stepsDone)
+	}
+	if j.state == StateDone {
+		st.ReportURL = "/v1/runs/" + j.id + "/report"
+	}
+	return st
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Parallel is the worker count of each job's cell executor
+	// (minimum 1).
+	Parallel int
+	// QueueDepth bounds the number of jobs waiting to run (beyond the
+	// one running); a full queue answers 429. Minimum 1.
+	QueueDepth int
+	// CacheEntries bounds the shared in-memory result cache; 0 uses
+	// the executor default.
+	CacheEntries int
+	// CacheDir, when non-empty, adds the on-disk cache layer.
+	CacheDir string
+}
+
+// Server owns the job queue, the job table, and the shared result
+// store. Create with New, mount Handler on an http.Server, stop with
+// Drain.
+type Server struct {
+	parallel int
+	store    *resultstore.Store[core.Result]
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job ids in submission order, for /metrics
+	queue    chan *job
+	draining bool
+	nextID   int
+
+	runnerDone chan struct{}
+
+	// run executes one job; tests swap it to control timing.
+	run func(*job)
+	// now is the server's clock; tests may pin it.
+	now func() time.Time
+}
+
+// New returns a started server (its runner goroutine is consuming the
+// queue).
+func New(cfg Config) (*Server, error) {
+	if cfg.Parallel < 1 {
+		cfg.Parallel = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 16384
+	}
+	var store *resultstore.Store[core.Result]
+	var err error
+	if cfg.CacheDir != "" {
+		store, err = resultstore.Open[core.Result](cfg.CacheDir, cfg.CacheEntries)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = resultstore.New[core.Result](cfg.CacheEntries)
+	}
+	s := &Server{
+		parallel:   cfg.Parallel,
+		store:      store,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
+		runnerDone: make(chan struct{}),
+		now:        time.Now,
+	}
+	s.run = s.executeJob
+	go s.runner()
+	return s, nil
+}
+
+// runner consumes the queue until Drain closes it. One job runs at a
+// time; each job spreads its cells across the executor's workers.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// executeJob runs one job to completion, updating its progress as
+// plan steps start. A panicking experiment fails the job, not the
+// server.
+func (s *Server) executeJob(j *job) {
+	start := s.now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = start
+	j.mu.Unlock()
+
+	fail := func(msg string) {
+		j.mu.Lock()
+		j.state = StateFailed
+		j.err = msg
+		j.finished = s.now()
+		j.mu.Unlock()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fail(fmt.Sprintf("experiment panicked: %v\n%s", r, debug.Stack()))
+		}
+	}()
+
+	suite, err := j.req.suite()
+	if err != nil { // validated at submit; a failure here is a bug
+		fail(err.Error())
+		return
+	}
+	exec := experiments.NewExecWith(s.parallel, s.store)
+	defer exec.Close()
+	suite.Exec = exec
+	plan, err := j.req.plan(suite)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+
+	j.mu.Lock()
+	j.stepsTotal = len(plan)
+	j.mu.Unlock()
+	tables := experiments.RunPlan(plan, func(i int, id string) {
+		j.mu.Lock()
+		j.stepsDone = i
+		j.currentStep = id
+		j.mu.Unlock()
+	})
+	rep := suite.Report(tables)
+	b, err := rep.Encode()
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.stepsDone = j.stepsTotal
+	j.currentStep = ""
+	j.report = b
+	j.cells = exec.Stats()
+	j.finished = s.now()
+	j.mu.Unlock()
+}
+
+// Drain stops accepting jobs, lets the queue run dry (finishing the
+// running job and everything already queued), and returns when the
+// runner has exited or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.runnerDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain aborted with jobs outstanding")
+	}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// jsonError writes a JSON error body with the given status code.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Validate before touching the queue: a bad plan must never
+	// occupy a slot.
+	suite, err := req.suite()
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := req.plan(suite); err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("job-%04d", s.nextID),
+		req:      req,
+		state:    StateQueued,
+		enqueued: s.now(),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	default:
+		s.nextID-- // slot not taken; reuse the id
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		jsonError(w, http.StatusTooManyRequests, "job queue is full")
+		return
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{
+		"id":  j.id,
+		"url": "/v1/runs/" + j.id,
+	})
+}
+
+// jobByID looks a job up, answering 404 itself when absent.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(j.status(s.now()))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, report, errMsg := j.state, j.report, j.err
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(report)
+	case StateFailed:
+		jsonError(w, http.StatusConflict, "job failed: %s", errMsg)
+	default:
+		jsonError(w, http.StatusConflict, "job is %s; report not ready", state)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := map[JobState]int{}
+	var dedup uint64
+	var distinct int
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		counts[j.state]++
+		dedup += j.cells.Dedup
+		distinct += j.cells.Cells
+		j.mu.Unlock()
+	}
+	depth := len(s.queue)
+	capacity := cap(s.queue)
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	cs := s.store.Stats()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(w, "kurecd_jobs{state=%q} %d\n", st, counts[st])
+	}
+	fmt.Fprintf(w, "kurecd_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "kurecd_queue_capacity %d\n", capacity)
+	fmt.Fprintf(w, "kurecd_draining %d\n", draining)
+	fmt.Fprintf(w, "kurecd_cells_distinct_total %d\n", distinct)
+	fmt.Fprintf(w, "kurecd_cells_deduped_total %d\n", dedup)
+	fmt.Fprintf(w, "kurecd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "kurecd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "kurecd_cache_disk_hits_total %d\n", cs.DiskHits)
+	fmt.Fprintf(w, "kurecd_cache_misses_total %d\n", cs.Misses)
+}

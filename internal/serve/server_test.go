@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// tinyRequest is a run request small enough to execute for real in a
+// unit test (one figure, reduced sweep).
+func tinyRequest() RunRequest {
+	return RunRequest{
+		Suite:       "quick",
+		Experiments: []string{"2"},
+		Iterations:  100,
+		Threads:     []int{1, 2},
+	}
+}
+
+func post(t *testing.T, ts *httptest.Server, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// pollDone polls a job's status until it leaves the queue/run states.
+func pollDone(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[Status](t, resp)
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Status{}
+}
+
+// TestEndToEnd drives the full happy path: enqueue, poll to
+// completion, fetch the report — and checks the served bytes are
+// identical to what the experiments package produces directly for the
+// same request (the CLI/server identity guarantee).
+func TestEndToEnd(t *testing.T) {
+	srv, err := New(Config{Parallel: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, tinyRequest())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	accepted := decode[map[string]string](t, resp)
+	id := accepted["id"]
+	if id == "" {
+		t.Fatal("no job id in submit response")
+	}
+
+	st := pollDone(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (error %q), want done", st.State, st.Error)
+	}
+	if st.StepsDone != st.StepsTotal || st.StepsTotal == 0 {
+		t.Fatalf("steps = %d/%d, want all done", st.StepsDone, st.StepsTotal)
+	}
+	if st.ReportURL == "" {
+		t.Fatal("done job has no report URL")
+	}
+
+	rresp, err := http.Get(ts.URL + st.ReportURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d, want 200", rresp.StatusCode)
+	}
+	got, err := io.ReadAll(rresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same request through the experiments package must produce
+	// the same bytes.
+	req := tinyRequest()
+	suite, err := req.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := req.plan(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := suite.Report(experiments.RunPlan(plan, nil)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("served report differs from direct report (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The metrics endpoint reflects the finished job.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mb)
+	for _, want := range []string{
+		`kurecd_jobs{state="done"} 1`,
+		"kurecd_queue_capacity 4",
+		"kurecd_cache_misses_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/runs/job-9999", "/v1/runs/job-9999/report"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestBadRequestsRejectedAtSubmit(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []RunRequest{
+		{Suite: "publication"},                           // unknown suite
+		{Suite: "quick", Experiments: []string{"fig99"}}, // unknown experiment
+		{Suite: "quick", Threads: []int{0}},              // invalid sweep
+	}
+	for i, req := range cases {
+		resp := post(t, ts, req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestQueueBackpressure fills the queue behind a blocked runner and
+// checks the next submission is answered 429 without being recorded.
+func TestQueueBackpressure(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv.run = func(j *job) {
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+		started <- j.id
+		<-release
+		j.mu.Lock()
+		j.state = StateDone
+		j.mu.Unlock()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer close(release)
+
+	// First job: picked up by the runner, which blocks.
+	r1 := post(t, ts, tinyRequest())
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1 status = %d", r1.StatusCode)
+	}
+	<-started
+	// Second job: sits in the queue (depth 1).
+	r2 := post(t, ts, tinyRequest())
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2 status = %d", r2.StatusCode)
+	}
+	// Third job: queue full -> 429 with Retry-After.
+	r3 := post(t, ts, tinyRequest())
+	body := decode[map[string]string](t, r3)
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3 status = %d, want 429", r3.StatusCode)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if body["error"] == "" {
+		t.Error("429 without error body")
+	}
+}
+
+// TestGracefulDrain: during a drain, new submissions get 503, already
+// queued jobs still finish, and Drain returns once the queue is dry.
+func TestGracefulDrain(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	srv.run = func(j *job) {
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+		started <- j.id
+		<-release
+		j.mu.Lock()
+		j.state = StateDone
+		j.mu.Unlock()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One running (blocked) + one queued.
+	r1 := post(t, ts, tinyRequest())
+	r1.Body.Close()
+	<-started
+	r2 := post(t, ts, tinyRequest())
+	id2 := decode[map[string]string](t, r2)["id"]
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- srv.Drain(ctx)
+	}()
+
+	// Wait until the drain flag is visible, then check 503 + healthz.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := decode[map[string]string](t, resp)
+		if h["status"] == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r3 := post(t, ts, tinyRequest())
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", r3.StatusCode)
+	}
+
+	// Unblock the jobs; the drain must complete and the queued job
+	// must have run.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Status](t, resp)
+	if st.State != StateDone {
+		t.Fatalf("queued job state after drain = %s, want done", st.State)
+	}
+}
+
+// TestFailedJobSurfacesError drives the real executeJob down its
+// failure path (the request is corrupted after submit-time validation,
+// standing in for any mid-run failure) and checks the job reports
+// failed, carries the error, and answers the report endpoint with 409.
+func TestFailedJobSurfacesError(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.run = func(j *job) {
+		j.req.Suite = "corrupted-after-validation"
+		srv.executeJob(j)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r := post(t, ts, tinyRequest())
+	id := decode[map[string]string](t, r)["id"]
+	st := pollDone(t, ts, id)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "unknown suite") {
+		t.Errorf("error = %q, want the underlying failure", st.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("report of failed job = %d, want 409", resp.StatusCode)
+	}
+}
