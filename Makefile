@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench figures extensions examples cover clean serve sweep-par
+.PHONY: all test race bench bench-engine bench-baseline figures extensions examples cover clean serve sweep-par
 
 all: test
 
@@ -15,6 +15,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Engine + sweep throughput benchmarks, gated against the committed
+# baseline (fails on a >25% rate regression; see cmd/benchgate).
+bench-engine:
+	$(GO) test -bench . -benchtime=0.2s -count=3 -run '^$$' ./internal/sim/ ./internal/experiments/ | tee bench_engine.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -input bench_engine.txt
+
+# Rewrite BENCH_engine.json from a fresh run on this machine.
+bench-baseline:
+	$(GO) test -bench . -benchtime=0.2s -count=3 -run '^$$' ./internal/sim/ ./internal/experiments/ | tee bench_engine.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_engine.json -update -input bench_engine.txt
 
 # Regenerate every paper figure + ablation (text) and per-figure CSVs.
 figures:
@@ -44,4 +55,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf figures_csv cover.out .kucache
+	rm -rf figures_csv cover.out .kucache bench_engine.txt

@@ -1,0 +1,200 @@
+// Command benchgate compares `go test -bench` output against a
+// committed baseline and fails on throughput regressions. It is the CI
+// regression gate for the engine microbenchmarks: the benchmarks report
+// a rate metric (events/sec, cells/sec), benchgate takes the best rate
+// per benchmark across -count repetitions (best-of filters scheduler
+// noise on shared runners), and compares it with the baseline file.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=0.2s -count=3 ./internal/sim/ | benchgate -baseline BENCH_engine.json
+//	go test -bench . ./internal/sim/ | benchgate -baseline BENCH_engine.json -update
+//
+// Exit status: 0 when every baselined benchmark is present and within
+// the threshold, 1 on regression or missing benchmark, 2 on usage or
+// parse errors. The threshold is generous (default 25% below baseline)
+// because CI machines vary; the committed baseline records the rates of
+// the machine that last ran -update, and the gate exists to catch
+// order-of-magnitude mistakes (an accidental O(n log n)->O(n^2) or a
+// reintroduced per-event allocation), not 5% drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the schema of BENCH_engine.json.
+type Baseline struct {
+	Schema int    `json:"schema"`
+	Note   string `json:"note,omitempty"`
+	// Benchmarks maps the bare benchmark name (GOMAXPROCS suffix
+	// stripped) to its recorded best rate.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's recorded performance.
+type Entry struct {
+	Metric string  `json:"metric"`        // rate unit, e.g. "events/sec"
+	Rate   float64 `json:"rate"`          // best observed rate at -update time
+	Allocs float64 `json:"allocs_per_op"` // informational, not gated
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_engine.json", "baseline file to compare against (or write with -update)")
+		threshold = flag.Float64("threshold", 0.25, "fail when a rate drops more than this fraction below baseline")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		input     = flag.String("input", "-", "benchmark output to read ('-' for stdin)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(2, "%v", err)
+	}
+	if len(got) == 0 {
+		fatal(2, "no benchmark rate lines found in input (did the run fail, or lack ReportMetric rates?)")
+	}
+
+	if *update {
+		b := Baseline{
+			Schema:     1,
+			Note:       "best-of-run engine benchmark rates; regenerate with `make bench-baseline`",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			fatal(2, "%v", err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(got), *basePath)
+		return
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatal(2, "%v (run with -update to create the baseline)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(2, "parsing %s: %v", *basePath, err)
+	}
+	if base.Schema != 1 {
+		fatal(2, "%s: unsupported schema %d", *basePath, base.Schema)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s baselined but missing from this run\n", name)
+			failed = true
+			continue
+		}
+		floor := want.Rate * (1 - *threshold)
+		ratio := have.Rate / want.Rate
+		status := "ok  "
+		if have.Rate < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %14.0f %s vs baseline %14.0f (%.2fx, floor %.0f)\n",
+			status, name, have.Rate, have.Metric, want.Rate, ratio, floor)
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("new  %-28s %14.0f %s (not baselined; run -update to add)\n",
+				name, got[name].Rate, got[name].Metric)
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: regression beyond %.0f%% of %s\n", *threshold*100, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(names), *threshold*100, *basePath)
+}
+
+// parseBench extracts the best rate per benchmark from `go test -bench`
+// output. A result line looks like:
+//
+//	BenchmarkSchedule-8  242  4941329 ns/op  11367105 events/sec  376 B/op  6 allocs/op
+//
+// The rate is the value whose unit ends in "/sec"; the "-8" GOMAXPROCS
+// suffix is stripped so baselines transfer across machines. With
+// -count>1 the same name repeats; the maximum rate wins.
+func parseBench(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var (
+			rate   float64
+			metric string
+			allocs float64
+		)
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; {
+			case strings.HasSuffix(unit, "/sec"):
+				rate, metric = v, unit
+			case unit == "allocs/op":
+				allocs = v
+			}
+		}
+		if metric == "" {
+			continue // benchmark without a rate metric; not gated
+		}
+		if prev, ok := out[name]; !ok || rate > prev.Rate {
+			out[name] = Entry{Metric: metric, Rate: rate, Allocs: allocs}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func fatal(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(code)
+}

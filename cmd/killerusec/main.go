@@ -11,6 +11,7 @@
 //	killerusec -list             # list experiment IDs
 //	killerusec -fig 4 -quick -trace fig4.json  # Perfetto trace of every run
 //	killerusec -all -quick -json BENCH_quick.json  # machine-readable run report
+//	killerusec -fig 7 -quick -cpuprofile cpu.pp    # pprof profile of the sweep
 //
 // Long sweeps print per-table progress and an ETA to stderr when it is
 // a terminal (suppressed under -csv and in CI/pipes).
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -48,8 +51,42 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a machine-readable run report (schema-versioned JSON) to this file; check it with `kurec check`")
 		parallel = flag.Int("parallel", 1, "worker goroutines for independent simulation cells; output is byte-identical at any value")
 		cachedir = flag.String("cachedir", "", "persist cell results to this directory and reuse them across invocations of the same build")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks for the perf workflow documented in DESIGN.md:
+	// `killerusec -fig 7 -quick -cpuprofile cpu.pp` then
+	// `go tool pprof cpu.pp`. The CPU profile covers the whole sweep;
+	// the heap profile is a post-sweep snapshot (after one final GC) so
+	// it shows what the harness retains, not transient event churn.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "killerusec:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "killerusec:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "killerusec:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "killerusec:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("paper:      2 3 4 5 6 7 8 9 10 10a 10b 10c 10d")

@@ -148,6 +148,9 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 				return Result{}, err
 			}
 		}
+		// The recording engine is quiescent; hand its backing arrays to
+		// the measured run (and the next cell on this worker).
+		rec.eng.Recycle()
 	}
 
 	label := fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
@@ -158,7 +161,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		return Result{}, err
 	}
 	diag := e.diagnostics(c)
-	return Result{
+	res := Result{
 		Measurement: stats.Measurement{
 			Label:             label,
 			Accesses:          c.accesses,
@@ -174,7 +177,9 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 			MeanChipOccupancy: diag.MeanChipOccupancy,
 		},
 		Diag: diag,
-	}, nil
+	}
+	e.eng.Recycle()
+	return res, nil
 }
 
 // RecordAccessTrace performs a recording run (the first of the paper's
@@ -215,6 +220,7 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		out[coreID] = e.dev.TakeRecording(coreID)
 	}
+	e.eng.Recycle()
 	return out, nil
 }
 

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// BenchmarkQuickSweep is the end-to-end wall-clock benchmark of the
+// sweep pipeline: the full paper plan on a reduced suite, executed
+// serially and uncached so the engine hot path dominates. The
+// benchgate CI job tracks its cells/sec alongside the internal/sim
+// microbenchmarks — a regression here that the microbenchmarks missed
+// means the slowdown is in the model layer, not the engine.
+func BenchmarkQuickSweep(b *testing.B) {
+	s := Quick()
+	s.Iterations = 200
+	s.AppLookups = 50
+	s.Threads = []int{1, 4, 10}
+	b.ReportAllocs()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		tables := RunPlan(s.PaperPlan(), nil)
+		if len(tables) == 0 {
+			b.Fatal("empty sweep")
+		}
+		cells = 0
+		for _, t := range tables {
+			for _, series := range t.Series {
+				cells += len(series.X)
+			}
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+}

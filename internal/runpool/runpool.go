@@ -12,6 +12,14 @@
 // fails its own Task instead of tearing down the process), and
 // cancellation through a context.Context that fails queued-but-unrun
 // jobs fast.
+//
+// Workers also act as the reuse domain for simulation scratch memory:
+// each cell's engine returns its backing arrays (event heap, now-queue,
+// process tables) to a per-P sync.Pool when the run finishes
+// (sim.Engine.Recycle), and the next cell on the same worker reacquires
+// them warm. Long worker goroutines tend to stay on their P, so a
+// sweep's steady state allocates engine arrays roughly once per worker
+// rather than once per cell.
 package runpool
 
 import (

@@ -1,37 +1,25 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
+	"sync"
 )
 
-// event is a single scheduled callback.
+// event is a single scheduled callback. Events are stored by value in
+// the engine's heap: no interface boxing and no per-event pointer
+// allocation, which matters because every figure cell of the
+// reproduction is millions of events.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: events at the same time fire in scheduling order
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// less orders events by (at, seq) — the same total order the original
+// container/heap implementation used.
+func (a event) less(b event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -40,18 +28,102 @@ func (h *eventHeap) Pop() interface{} {
 // must be driven from a single goroutine (processes started with Go
 // synchronize with the engine in strict handoff, so user code never runs
 // concurrently with engine code).
+//
+// Internally the engine keeps two pending-event structures:
+//
+//   - a 4-ary min-heap over []event, ordered by (at, seq), for events
+//     scheduled at future times;
+//   - a FIFO now-queue for events scheduled at the current timestamp
+//     (Gate.Fire waiters, Engine.Go starts, OnFire on fired gates — a
+//     large fraction of all events), which bypass the heap entirely.
+//
+// The split preserves the documented ordering: an event can only enter
+// the heap at time t while now < t, and can only enter the now-queue at
+// t while now == t, so every heap event at time t was scheduled (and
+// sequence-numbered) before every now-queue event at t. Draining heap
+// events at `now` before now-queue events is therefore exactly global
+// scheduling order.
 type Engine struct {
 	now      Time
-	events   eventHeap
+	heap     []event // 4-ary min-heap by (at, seq)
 	seq      uint64
 	executed uint64
-	procs    int     // live processes, for leak detection
-	started  []*Proc // every process ever started, for stuck-process reports
+
+	// now-queue: FIFO of events scheduled at the current timestamp.
+	// nowHead indexes the next event to run; popped slots are nil'd and
+	// the backing array is reused once the queue drains.
+	nowq    []func()
+	nowHead int
+
+	procs     int     // live processes, for leak detection
+	started   []*Proc // processes not yet compacted away, for stuck-process reports
+	deadProcs int     // finished processes still occupying started
+
+	// free lists, refilled across runs by Recycle via the package
+	// scratch pool: finished Proc shells (goroutine exited, channels
+	// reusable) and gate-waiter slices.
+	procFree   []*Proc
+	waiterFree [][]func()
 }
 
-// NewEngine returns an empty engine with the clock at zero.
+// scratch is the recyclable allocation footprint of one engine run.
+// Runs hand it back through scratchPool (Engine.Recycle), and NewEngine
+// adopts it, so a worker executing many simulation cells re-runs each
+// one on warm backing arrays instead of regrowing them from nil —
+// sync.Pool keeps free lists per-P, so each runpool worker effectively
+// retains its own scratch across the cells it executes.
+type scratch struct {
+	heap       []event
+	nowq       []func()
+	started    []*Proc
+	procFree   []*Proc
+	waiterFree [][]func()
+}
+
+var scratchPool sync.Pool
+
+// NewEngine returns an empty engine with the clock at zero, reusing the
+// backing arrays of a previously Recycle()d engine when available.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	if s, ok := scratchPool.Get().(*scratch); ok {
+		e.heap = s.heap
+		e.nowq = s.nowq
+		e.started = s.started
+		e.procFree = s.procFree
+		e.waiterFree = s.waiterFree
+	}
+	return e
+}
+
+// Recycle returns the engine's backing arrays (event heap, now-queue,
+// process table, proc and waiter free lists) to the package pool for
+// the next NewEngine call. It is a no-op unless the engine is fully
+// quiescent — no pending events and no live processes — so a run that
+// errored out keeps its state for post-mortem inspection. The engine
+// must not be used again after Recycle, and caller-held *Proc handles
+// become invalid (the shells are reused by future Go calls).
+func (e *Engine) Recycle() {
+	if e.procs != 0 || e.Pending() != 0 {
+		return
+	}
+	free := e.procFree
+	for i, p := range e.started {
+		p.eng = nil // drop the dead engine; Go re-binds on reuse
+		free = append(free, p)
+		e.started[i] = nil
+	}
+	s := &scratch{
+		heap:       e.heap[:0],
+		nowq:       e.nowq[:0],
+		started:    e.started[:0],
+		procFree:   free,
+		waiterFree: e.waiterFree,
+	}
+	e.heap, e.nowq, e.started, e.procFree, e.waiterFree = nil, nil, nil, nil, nil
+	e.nowHead = 0
+	e.deadProcs = 0
+	scratchPool.Put(s)
 }
 
 // Now returns the current simulated time.
@@ -63,25 +135,121 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a modeling bug, and silently clamping
-// would mask it.
+// would mask it. Scheduling at the current time enqueues on the FIFO
+// now-queue, skipping the heap.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	if t <= e.now {
+		if t < e.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		}
+		e.pushNow(fn)
+		return
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.heapPush(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// pushNow appends to the now-queue, compacting consumed head slots
+// before the backing array would otherwise grow.
+func (e *Engine) pushNow(fn func()) {
+	if len(e.nowq) == cap(e.nowq) && e.nowHead > 0 {
+		n := copy(e.nowq, e.nowq[e.nowHead:])
+		for i := n; i < len(e.nowq); i++ {
+			e.nowq[i] = nil
+		}
+		e.nowq = e.nowq[:n]
+		e.nowHead = 0
+	}
+	e.nowq = append(e.nowq, fn)
+}
+
+// popNow removes and returns the oldest now-queue event. The caller
+// must have checked it is non-empty.
+func (e *Engine) popNow() func() {
+	fn := e.nowq[e.nowHead]
+	e.nowq[e.nowHead] = nil
+	e.nowHead++
+	if e.nowHead == len(e.nowq) {
+		e.nowq = e.nowq[:0]
+		e.nowHead = 0
+	}
+	return fn
+}
+
+// heapPush inserts ev into the 4-ary min-heap.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum event. The caller must have
+// checked the heap is non-empty.
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the callback reference
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			hi := c + 4
+			if hi > n {
+				hi = n
+			}
+			for j := c + 1; j < hi; j++ {
+				if h[j].less(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].less(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
 // Step executes the single earliest pending event and reports whether
-// one existed.
+// one existed. Heap events at the current time run before now-queue
+// events: they were necessarily scheduled earlier (see the type
+// comment), so this is global scheduling order.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.nowHead < len(e.nowq) {
+		if len(e.heap) == 0 || e.heap[0].at > e.now {
+			fn := e.popNow()
+			e.executed++
+			fn()
+			return true
+		}
+	}
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.heapPop()
 	e.now = ev.at
 	e.executed++
 	ev.fn()
@@ -99,8 +267,16 @@ func (e *Engine) Run() Time {
 // clock to deadline, and returns the number of events executed.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.executed
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.Step()
+	for {
+		if e.nowHead < len(e.nowq) && e.now <= deadline {
+			e.Step()
+			continue
+		}
+		if len(e.heap) > 0 && e.heap[0].at <= deadline {
+			e.Step()
+			continue
+		}
+		break
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -109,7 +285,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 }
 
 // Pending returns the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.nowq) - e.nowHead }
 
 // LiveProcs returns the number of processes started with Go that have
 // not yet returned. A non-zero value after Run indicates a process
@@ -117,7 +293,9 @@ func (e *Engine) Pending() int { return len(e.events) }
 func (e *Engine) LiveProcs() int { return e.procs }
 
 // LiveProcNames returns the diagnostic names of processes that have not
-// yet returned, in start order.
+// yet returned, in start order. Compaction removes only finished
+// processes and preserves relative order, so the output is stable
+// across an engine's whole lifetime.
 func (e *Engine) LiveProcNames() []string {
 	var names []string
 	for _, p := range e.started {
@@ -126,6 +304,60 @@ func (e *Engine) LiveProcNames() []string {
 		}
 	}
 	return names
+}
+
+// compactAfter is the minimum number of finished-but-retained processes
+// before procExited compacts the started table.
+const compactAfter = 32
+
+// procExited is called (in engine context) each time a process body
+// returns. Once enough finished processes accumulate, the started table
+// is compacted in place — preserving start order for LiveProcNames —
+// and the finished Proc shells move to the free list for reuse by later
+// Go calls, so a long-lived engine no longer retains every process it
+// ever ran.
+func (e *Engine) procExited() {
+	e.deadProcs++
+	if e.deadProcs < compactAfter || e.deadProcs*2 < len(e.started) {
+		return
+	}
+	live := e.started[:0]
+	for _, p := range e.started {
+		if p.done {
+			e.procFree = append(e.procFree, p)
+		} else {
+			live = append(live, p)
+		}
+	}
+	for i := len(live); i < len(e.started); i++ {
+		e.started[i] = nil
+	}
+	e.started = live
+	e.deadProcs = 0
+}
+
+// getWaiters hands out a pooled gate-waiter slice.
+func (e *Engine) getWaiters() []func() {
+	if n := len(e.waiterFree); n > 0 {
+		s := e.waiterFree[n-1]
+		e.waiterFree[n-1] = nil
+		e.waiterFree = e.waiterFree[:n-1]
+		return s
+	}
+	return make([]func(), 0, 4)
+}
+
+// putWaiters returns a drained waiter slice to the pool. Oversized
+// slices and an oversized pool are dropped so one pathological gate
+// cannot pin memory.
+func (e *Engine) putWaiters(s []func()) {
+	if cap(s) > 1024 || len(e.waiterFree) >= 256 {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	e.waiterFree = append(e.waiterFree, s[:0])
 }
 
 // RunChecked is Run with a quiescence watchdog: if the event queue

@@ -13,37 +13,87 @@ import "fmt"
 // engine: exactly one of {engine, some process} runs at any instant, so
 // execution is single-threaded and fully deterministic despite using
 // goroutines.
+//
+// A Proc's channels and shell outlive the process body: once the body
+// returns, the engine may recycle the shell for a later Go call (its
+// goroutine has exited and both handoff channels are empty). A *Proc
+// handle is therefore only meaningful until the process finishes.
 type Proc struct {
 	eng  *Engine
 	name string
 	wake chan struct{} // engine -> proc: resume
 	park chan struct{} // proc -> engine: parked (or exited)
 	done bool
+	body func(*Proc)
+
+	// resumeFn and startFn are created once per shell and reused for
+	// every blocking call and every recycled run, so Sleep/Wait/Go do
+	// not allocate a closure per invocation.
+	resumeFn func()
+	startFn  func()
 }
 
 // Go starts fn as a simulated process at the current simulated time.
 // The name is used in diagnostics only.
 func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
-	p := &Proc{
-		eng:  e,
-		name: name,
-		wake: make(chan struct{}),
-		park: make(chan struct{}),
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		p.eng = e
+		p.name = name
+		p.done = false
+	} else {
+		p = &Proc{
+			eng:  e,
+			name: name,
+			wake: make(chan struct{}),
+			park: make(chan struct{}),
+		}
+		p.resumeFn = p.engineResume
+		p.startFn = p.engineStart
 	}
+	p.body = fn
 	e.procs++
 	e.started = append(e.started, p)
 	// The process body starts executing when this event fires; until its
 	// first blocking call it runs inline within the event.
-	e.At(e.now, func() {
-		go func() {
-			fn(p)
-			p.done = true
-			p.eng.procs--
-			p.park <- struct{}{}
-		}()
-		<-p.park // wait for first block (or exit)
-	})
+	e.pushNow(p.startFn)
 	return p
+}
+
+// engineStart launches the process goroutine and waits for its first
+// park (or exit). Runs as an engine event.
+func (p *Proc) engineStart() {
+	go p.run()
+	<-p.park
+	if p.done {
+		p.eng.procExited()
+	}
+}
+
+// run is the process goroutine: execute the body, then hand control
+// back to the engine one last time.
+func (p *Proc) run() {
+	p.body(p)
+	p.body = nil // release the workload closure promptly
+	p.done = true
+	p.eng.procs--
+	p.park <- struct{}{}
+}
+
+// engineResume hands control to the parked process and waits for it to
+// park again or exit. It runs as an engine event, never from process
+// context. The engine notices process exit here (and in engineStart),
+// in engine context, so bookkeeping needs no synchronization beyond the
+// handoff channels themselves.
+func (p *Proc) engineResume() {
+	p.wake <- struct{}{}
+	<-p.park
+	if p.done {
+		p.eng.procExited()
+	}
 }
 
 // Done reports whether the process body has returned.
@@ -58,22 +108,11 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// block parks the process until resume() is invoked from engine context.
-// Must only be called from within the process goroutine.
+// block parks the process until resumeFn is invoked from engine
+// context. Must only be called from within the process goroutine.
 func (p *Proc) block() {
 	p.park <- struct{}{}
 	<-p.wake
-}
-
-// resume returns a callback that, when executed as an engine event,
-// hands control to the parked process and waits for it to park again or
-// exit. It must be scheduled on the engine, never called from process
-// context.
-func (p *Proc) resume() func() {
-	return func() {
-		p.wake <- struct{}{}
-		<-p.park
-	}
 }
 
 // Sleep blocks the process for d of simulated time.
@@ -84,7 +123,7 @@ func (p *Proc) Sleep(d Time) {
 	if d == 0 {
 		return
 	}
-	p.eng.At(p.eng.now+d, p.resume())
+	p.eng.At(p.eng.now+d, p.resumeFn)
 	p.block()
 }
 
@@ -103,8 +142,37 @@ func (p *Proc) Wait(g *Gate) {
 	if g.fired {
 		return
 	}
-	g.onFire(p.resume())
+	g.onFire(p.resumeFn)
 	p.block()
+}
+
+// wtArm is the shared state of one WaitTimeout: a gate arm racing a
+// timer arm. The winning arm clears p before resuming, so the losing
+// arm — which can sit in the event heap or a gate's waiter list long
+// after the wait ended — retains only this empty struct, not the Proc
+// and everything reachable from it.
+type wtArm struct {
+	p     *Proc
+	fired bool
+}
+
+func (a *wtArm) gateWin() {
+	p := a.p
+	if p == nil {
+		return
+	}
+	a.p = nil
+	a.fired = true
+	p.resumeFn()
+}
+
+func (a *wtArm) timerWin() {
+	p := a.p
+	if p == nil {
+		return
+	}
+	a.p = nil
+	p.resumeFn()
 }
 
 // WaitTimeout blocks the process until g fires or d elapses, whichever
@@ -119,24 +187,11 @@ func (p *Proc) WaitTimeout(g *Gate, d Time) bool {
 	if d <= 0 {
 		return false
 	}
-	woken, fired := false, false
-	resume := p.resume()
-	g.onFire(func() {
-		if woken {
-			return
-		}
-		woken, fired = true, true
-		resume()
-	})
-	p.eng.At(p.eng.now+d, func() {
-		if woken {
-			return
-		}
-		woken = true
-		resume()
-	})
+	a := &wtArm{p: p}
+	g.onFire(a.gateWin)
+	p.eng.At(p.eng.now+d, a.timerWin)
 	p.block()
-	return fired
+	return a.fired
 }
 
 // Gate is a one-shot event that processes and callbacks can wait on.
@@ -169,9 +224,12 @@ func (g *Gate) Fire() {
 	g.fired = true
 	g.firedAt = g.eng.now
 	for _, fn := range g.waiters {
-		g.eng.At(g.eng.now, fn)
+		g.eng.pushNow(fn)
 	}
-	g.waiters = nil
+	if g.waiters != nil {
+		g.eng.putWaiters(g.waiters)
+		g.waiters = nil
+	}
 }
 
 // OnFire registers fn to run (as an engine event) when the gate fires,
@@ -180,8 +238,11 @@ func (g *Gate) OnFire(fn func()) { g.onFire(fn) }
 
 func (g *Gate) onFire(fn func()) {
 	if g.fired {
-		g.eng.At(g.eng.now, fn)
+		g.eng.pushNow(fn)
 		return
+	}
+	if g.waiters == nil {
+		g.waiters = g.eng.getWaiters()
 	}
 	g.waiters = append(g.waiters, fn)
 }

@@ -134,7 +134,7 @@ func (p *Proc) AcquireToken(t *TokenPool) {
 	// grant() is performed by Release before it schedules our resume, so
 	// the waiter slot carries the token with it.
 	t.stalls++
-	t.waiters = append(t.waiters, p.resume())
+	t.waiters = append(t.waiters, p.resumeFn)
 	p.block()
 }
 
