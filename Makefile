@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-engine bench-baseline figures extensions examples cover clean serve sweep-par
+.PHONY: all test race bench bench-engine bench-baseline figures extensions examples cover clean serve sweep-par chaos
 
 all: test
 
@@ -36,9 +36,15 @@ figures:
 sweep-par:
 	$(GO) run ./cmd/killerusec -all -parallel $(shell nproc 2>/dev/null || sysctl -n hw.ncpu) -cachedir .kucache -outdir figures_csv
 
-# Run the sweep service daemon on :8080.
+# Run the sweep service daemon on :8080 with crash recovery.
 serve:
-	$(GO) run ./cmd/kurecd -addr :8080
+	$(GO) run ./cmd/kurecd -addr :8080 -journal kurecd.wal -cachedir .kucache
+
+# Crash-recovery end-to-end: SIGKILL a real kurecd mid-sweep at seeded
+# points, restart it over the same journal + cache dir, and require a
+# byte-identical recovered report (see internal/chaos).
+chaos:
+	$(GO) test -race -v -count=1 ./internal/chaos/
 
 extensions:
 	$(GO) run ./cmd/killerusec -ext
@@ -55,4 +61,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf figures_csv cover.out .kucache bench_engine.txt
+	rm -rf figures_csv cover.out .kucache bench_engine.txt kurecd.wal kurecd.wal.reports

@@ -1,0 +1,97 @@
+package main
+
+// The cache subcommand manages the on-disk cell result cache shared by
+// `killerusec -cachedir` and `kurecd -cachedir`. Entries are written
+// under one subdirectory per build stamp; `stats` attributes disk
+// usage per build and `gc` evicts every build but one — stale stamps
+// can only waste disk, never be served, so gc is always safe.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/resultstore"
+)
+
+func cmdCache(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: kurec cache stats|gc [flags]")
+	}
+	switch args[0] {
+	case "stats":
+		return cmdCacheStats(args[1:], os.Stdout)
+	case "gc":
+		return cmdCacheGC(args[1:], os.Stdout)
+	}
+	return fmt.Errorf("unknown cache subcommand %q (want stats or gc)", args[0])
+}
+
+// humanBytes renders a byte count with a binary-ish unit for the
+// stats table.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func cmdCacheStats(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cache stats", flag.ExitOnError)
+	dir := fs.String("dir", ".kucache", "cache directory (the -cachedir value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stamps, err := resultstore.ScanDir(*dir)
+	if err != nil {
+		return err
+	}
+	current := experiments.BuildStamp()
+	fmt.Fprintf(w, "cache dir:     %s\n", *dir)
+	fmt.Fprintf(w, "current build: %s\n", current)
+	fmt.Fprintf(w, "hit path:      %s\n", resultstore.StampPath(*dir, current))
+	var entries int
+	var bytes int64
+	for _, st := range stamps {
+		entries += st.Entries
+		bytes += st.Bytes
+	}
+	fmt.Fprintf(w, "total:         %d entries, %s\n", entries, humanBytes(bytes))
+	for _, st := range stamps {
+		marker := ""
+		if st.Stamp == current {
+			marker = "  (current)"
+		}
+		fmt.Fprintf(w, "  %-16s %6d entries  %10s  %s%s\n", st.Dir, st.Entries, humanBytes(st.Bytes), st.Stamp, marker)
+	}
+	if len(stamps) == 0 {
+		fmt.Fprintln(w, "  (empty)")
+	}
+	return nil
+}
+
+func cmdCacheGC(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cache gc", flag.ExitOnError)
+	dir := fs.String("dir", ".kucache", "cache directory (the -cachedir value)")
+	keep := fs.String("keep-build", "current", `build stamp to keep ("current" = this binary's stamp)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stamp := *keep
+	if stamp == "current" {
+		stamp = experiments.BuildStamp()
+	}
+	entries, bytes, err := resultstore.GC(*dir, stamp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "removed %d stale entries (%s); kept build %s\n", entries, humanBytes(bytes), stamp)
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/resultstore"
+)
+
+// seedCache writes a few entries under the given build stamp.
+func seedCache(t *testing.T, dir, stamp string, n int) {
+	t.Helper()
+	s, err := resultstore.OpenStamped[int](dir, stamp, n+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := s.Do(resultstore.Key(stamp, string(rune('a'+i))), func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	seedCache(t, dir, experiments.BuildStamp(), 2)
+	seedCache(t, dir, "stale-build", 3)
+
+	var out bytes.Buffer
+	if err := cmdCacheStats([]string{"-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"cache dir:",
+		"current build: " + experiments.BuildStamp(),
+		"total:         5 entries",
+		"(current)",
+		"stale-build",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCacheStatsEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := cmdCacheStats([]string{"-dir", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(empty)") {
+		t.Errorf("empty cache stats = %q", out.String())
+	}
+}
+
+func TestCacheGC(t *testing.T) {
+	dir := t.TempDir()
+	seedCache(t, dir, experiments.BuildStamp(), 2)
+	seedCache(t, dir, "stale-build", 3)
+
+	// Default -keep-build current: the stale build goes, ours stays.
+	var out bytes.Buffer
+	if err := cmdCacheGC([]string{"-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "removed 3 stale entries") {
+		t.Errorf("gc output = %q, want 3 removed", out.String())
+	}
+	stats, err := resultstore.ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Stamp != experiments.BuildStamp() || stats[0].Entries != 2 {
+		t.Fatalf("after gc: %+v, want only the current build", stats)
+	}
+
+	// Explicit -keep-build of an absent stamp clears everything.
+	out.Reset()
+	if err := cmdCacheGC([]string{"-dir", dir, "-keep-build", "other"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range left {
+		if de.IsDir() && strings.HasPrefix(de.Name(), "b-") {
+			t.Errorf("gc -keep-build other left %s behind", filepath.Join(dir, de.Name()))
+		}
+	}
+}
+
+func TestCacheUsageErrors(t *testing.T) {
+	if err := cmdCache(nil); err == nil {
+		t.Error("cache with no subcommand should fail")
+	}
+	if err := cmdCache([]string{"bogus"}); err == nil {
+		t.Error("unknown cache subcommand should fail")
+	}
+}

@@ -12,6 +12,8 @@
 //	kurec trace -in swq.json                   # validate an exported trace
 //	kurec check -in run.json -claims           # schema + paper-claims suite
 //	kurec check -in run.json -against base.json  # cell-by-cell regression diff
+//	kurec cache stats -dir .kucache            # disk cache usage per build stamp
+//	kurec cache gc -dir .kucache               # evict entries from stale builds
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -44,6 +46,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -55,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	kurecd -addr :8080 -parallel 8
+//	kurecd -addr :8080 -parallel 8 -journal kurecd.wal -cachedir .kucache
 //	curl -X POST localhost:8080/v1/runs -d '{"suite":"quick","experiments":["2"]}'
 //	curl localhost:8080/v1/runs/job-0001
+//	curl -X DELETE localhost:8080/v1/runs/job-0001          # cancel
 //	curl localhost:8080/v1/runs/job-0001/report | kurec check -in /dev/stdin -claims
 //
-// SIGINT/SIGTERM drain gracefully: the listener stops accepting new
-// work, running and queued jobs finish (bounded by -drain-timeout),
-// then the process exits 0.
+// SIGINT/SIGTERM drain gracefully: /readyz flips to 503 so load
+// balancers stop routing, the listener stops accepting new work,
+// running and queued jobs finish (bounded by -drain-timeout), then the
+// process exits 0. With -journal, a crash (SIGKILL, OOM, power cut)
+// loses at most the in-flight cell: on the next boot the journal is
+// replayed, finished jobs keep their reports, and interrupted jobs are
+// re-enqueued — warm from -cachedir, so only missing cells recompute.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +43,7 @@ func main() {
 		queue        = flag.Int("queue", 8, "maximum number of jobs waiting to run (full queue answers 429)")
 		cacheEntries = flag.Int("cache-entries", 16384, "in-memory result-cache capacity (cells)")
 		cachedir     = flag.String("cachedir", "", "persist cell results to this directory across restarts")
+		journal      = flag.String("journal", "", "durable job journal (WAL) path; jobs survive crashes and are re-enqueued on boot")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "maximum time to finish outstanding jobs on shutdown")
 	)
 	flag.Parse()
@@ -55,16 +62,24 @@ func main() {
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cachedir,
+		Journal:      *journal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kurecd:", err)
 		os.Exit(1)
 	}
 
-	httpServer := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kurecd:", err)
+		os.Exit(1)
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- httpServer.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "kurecd: listening on %s (parallel=%d queue=%d)\n", *addr, *parallel, *queue)
+	go func() { errc <- httpServer.Serve(ln) }()
+	// The resolved address (not the flag) so `-addr 127.0.0.1:0` is
+	// scriptable: the chaos harness parses this line.
+	fmt.Fprintf(os.Stderr, "kurecd: listening on %s (parallel=%d queue=%d)\n", ln.Addr(), *parallel, *queue)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,381 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosReq is the sweep the harness interrupts. It is sized so an
+// uninterrupted run takes a few seconds at -parallel 2 — long enough
+// that seeded kill delays land mid-sweep, short enough for CI.
+const chaosReq = `{"suite":"quick","experiments":["2","3"],"iterations":20000,"threads":[1,2,4]}`
+
+// buildKurecd compiles the real daemon binary once per test run.
+var buildKurecd = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "kurecd-bin-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "kurecd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/kurecd")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build kurecd: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+// artifactDir is where daemon logs and reports land: the CI chaos job
+// sets CHAOS_ARTIFACT_DIR so artifacts survive a failed run; locally
+// they go to the test's temp dir.
+func artifactDir(t *testing.T) string {
+	if d := os.Getenv("CHAOS_ARTIFACT_DIR"); d != "" {
+		sub := filepath.Join(d, strings.ReplaceAll(t.Name(), "/", "_"))
+		if err := os.MkdirAll(sub, 0o755); err == nil {
+			return sub
+		}
+	}
+	return t.TempDir()
+}
+
+// daemon is one live kurecd process started on an ephemeral port.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string // resolved listen address parsed from stderr
+	log  *os.File
+}
+
+// startDaemon boots kurecd on 127.0.0.1:0 with the given journal and
+// cache dir, and blocks until the "listening on" line reports the
+// resolved address. Stderr is teed to a log file in the artifact dir.
+func startDaemon(t *testing.T, bin, journal, cachedir, logName string, dir string) *daemon {
+	t.Helper()
+	logf, err := os.Create(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-parallel", "2",
+		"-queue", "8",
+		"-journal", journal,
+		"-cachedir", cachedir,
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(logf, line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				select {
+				case addrc <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &daemon{cmd: cmd, addr: addr, log: logf}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("kurecd never reported its listen address")
+		return nil
+	}
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+// kill SIGKILLs the daemon — the crash the journal must survive.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+	d.log.Close()
+}
+
+// status mirrors the serve.Status fields the harness asserts on.
+type status struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Error       string `json:"error"`
+	ReportURL   string `json:"report_url"`
+	Recovered   bool   `json:"recovered"`
+	CellsCached uint64 `json:"cells_cached"`
+}
+
+func getStatus(t *testing.T, d *daemon, id string) status {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/runs/" + id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func submit(t *testing.T, d *daemon, body string) string {
+	t.Helper()
+	resp, err := http.Post(d.url("/v1/runs"), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, b)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out["id"]
+}
+
+func waitTerminal(t *testing.T, d *daemon, id string, timeout time.Duration) status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, d, id)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal within %v", id, timeout)
+	return status{}
+}
+
+func fetchReport(t *testing.T, d *daemon, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/runs/" + id + "/report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("report = %d: %s", resp.StatusCode, b)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// waitReady polls /readyz until the daemon reports ready.
+func waitReady(t *testing.T, d *daemon, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url("/readyz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became ready")
+}
+
+// TestCrashRecoveryByteIdentical is the tentpole end-to-end: a real
+// kurecd is SIGKILLed mid-sweep at three seeded points; each time a
+// fresh process over the same journal and cache dir must re-enqueue
+// the job, resume warm, and produce a report byte-identical to an
+// uninterrupted run.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e builds and crash-loops a real daemon")
+	}
+	bin, err := buildKurecd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := artifactDir(t)
+
+	// Reference: one uninterrupted run.
+	refDir := t.TempDir()
+	ref := startDaemon(t, bin, filepath.Join(refDir, "ref.wal"), filepath.Join(refDir, "cache"), "ref.log", dir)
+	refStart := time.Now()
+	id := submit(t, ref, chaosReq)
+	st := waitTerminal(t, ref, id, 5*time.Minute)
+	refDur := time.Since(refStart)
+	if st.State != "done" {
+		t.Fatalf("reference run = %s (%s)", st.State, st.Error)
+	}
+	want := fetchReport(t, ref, id)
+	ref.kill()
+	os.WriteFile(filepath.Join(dir, "reference-report.json"), want, 0o644)
+	t.Logf("uninterrupted run: %v, %d report bytes", refDur, len(want))
+	if refDur < time.Second {
+		t.Logf("warning: reference run is fast (%v); kill points may land after completion", refDur)
+	}
+
+	var warmHits uint64
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			// The kill delay is a seeded draw over the middle of the
+			// measured run, so the three seeds hit distinct phases of
+			// the sweep deterministically for a given seed.
+			rng := rand.New(rand.NewSource(seed))
+			delay := time.Duration(float64(refDur) * (0.15 + 0.6*rng.Float64()))
+
+			runDir := t.TempDir()
+			journal := filepath.Join(runDir, "kurecd.wal")
+			cachedir := filepath.Join(runDir, "cache")
+
+			d1 := startDaemon(t, bin, journal, cachedir, fmt.Sprintf("seed%d-before.log", seed), dir)
+			jobID := submit(t, d1, chaosReq)
+			time.Sleep(delay)
+			d1.kill()
+			t.Logf("seed %d: SIGKILL after %v", seed, delay)
+
+			d2 := startDaemon(t, bin, journal, cachedir, fmt.Sprintf("seed%d-after.log", seed), dir)
+			defer d2.kill()
+			waitReady(t, d2, 30*time.Second)
+			st := waitTerminal(t, d2, jobID, 5*time.Minute)
+			if st.State != "done" {
+				t.Fatalf("recovered run = %s (%s)", st.State, st.Error)
+			}
+			got := fetchReport(t, d2, jobID)
+			os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed%d-report.json", seed)), got, 0o644)
+			if !bytes.Equal(want, got) {
+				t.Errorf("recovered report differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+			}
+			if st.Recovered {
+				warmHits += st.CellsCached
+				t.Logf("seed %d: recovered re-run, %d cells from cache", seed, st.CellsCached)
+			} else {
+				// The job finished (journal done record + sidecar) before
+				// the kill landed; recovery restored the report directly.
+				t.Logf("seed %d: job completed before kill; report restored from sidecar", seed)
+			}
+		})
+	}
+	// At least one seed must have resumed warm: an interrupted job whose
+	// re-run hit the disk cache. All three completing pre-kill would
+	// mean the kill points are mistimed.
+	if warmHits == 0 {
+		t.Error("no seed exercised a warm resume (cells_cached > 0 after recovery); retune chaosReq or kill delays")
+	}
+}
+
+// TestCancelE2E cancels a running sweep through the HTTP API of a real
+// daemon and asserts it reaches the terminal cancelled state within
+// one cell boundary (< 2s).
+func TestCancelE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e builds and runs a real daemon")
+	}
+	bin, err := buildKurecd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := artifactDir(t)
+	runDir := t.TempDir()
+	d := startDaemon(t, bin, filepath.Join(runDir, "kurecd.wal"), filepath.Join(runDir, "cache"), "cancel.log", dir)
+	defer d.kill()
+
+	id := submit(t, d, `{"suite":"quick","experiments":["2","3","7"],"iterations":2000,"threads":[1,2,4,8]}`)
+	// Wait until it is actually running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, d, id)
+		if st.State == "running" {
+			break
+		}
+		if st.State != "queued" {
+			t.Fatalf("job reached %s before cancellation", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancelAt := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, d.url("/v1/runs/"+id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel = %d, want 202", resp.StatusCode)
+	}
+	st := waitTerminal(t, d, id, 30*time.Second)
+	latency := time.Since(cancelAt)
+	if st.State != "cancelled" {
+		t.Fatalf("state = %s (%s), want cancelled", st.State, st.Error)
+	}
+	if latency > 2*time.Second {
+		t.Errorf("cancellation latency %v, want < 2s", latency)
+	}
+	t.Logf("cancelled in %v", latency)
+}
+
+// TestCancelSurvivesRestart: a cancel requested just before a crash is
+// honored on replay — the job lands cancelled, not re-run.
+func TestCancelSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e builds and crash-loops a real daemon")
+	}
+	bin, err := buildKurecd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := artifactDir(t)
+	runDir := t.TempDir()
+	journal := filepath.Join(runDir, "kurecd.wal")
+	cachedir := filepath.Join(runDir, "cache")
+
+	d1 := startDaemon(t, bin, journal, cachedir, "before.log", dir)
+	id := submit(t, d1, chaosReq)
+	// Cancel while queued-or-running, then kill before the daemon can
+	// finish winding the job down.
+	req, _ := http.NewRequest(http.MethodDelete, d1.url("/v1/runs/"+id), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	d1.kill()
+
+	d2 := startDaemon(t, bin, journal, cachedir, "after.log", dir)
+	defer d2.kill()
+	waitReady(t, d2, 30*time.Second)
+	st := waitTerminal(t, d2, id, time.Minute)
+	if st.State != "cancelled" {
+		t.Fatalf("after restart job = %s (%s), want cancelled", st.State, st.Error)
+	}
+}

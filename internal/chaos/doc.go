@@ -1,0 +1,13 @@
+// Package chaos holds the crash-recovery end-to-end harness for the
+// kurecd sweep service. There is no library code here: the package
+// exists so `go test ./internal/chaos/` can build a real kurecd
+// binary, SIGKILL it mid-sweep at seeded points, restart it against
+// the same journal and cache directory, and assert that the recovered
+// run report is byte-identical to an uninterrupted run.
+//
+// The harness is deliberately out-of-process: in-process recovery is
+// covered by the unit tests in internal/serve; this package is the
+// only place the whole stack — flag parsing, listener bootstrap, WAL
+// replay, disk-cache warm resume, drain — is exercised the way an
+// operator would run it.
+package chaos

@@ -220,6 +220,12 @@ var buildStamp = sync.OnceValue(func() string {
 	return stamp
 })
 
+// BuildStamp identifies this binary's build for cache stamping: the Go
+// toolchain version plus the module's VCS revision/time/dirty bit. It
+// is the stamp under which this process reads and writes disk-cache
+// entries, and the value `kurec cache gc -keep-build current` keeps.
+func BuildStamp() string { return buildStamp() }
+
 // defaultCacheEntries bounds the in-memory result cache. A full -all
 // -ext sweep is a few thousand cells; results are small (a label and
 // a few dozen scalars), so the default keeps every cell of one
@@ -266,20 +272,31 @@ func NewExec(parallel int) *Exec {
 // kurecd shares one store across jobs so identical RunPlans are
 // answered from cache.
 func NewExecWith(parallel int, store *resultstore.Store[core.Result]) *Exec {
+	return NewExecCtx(context.Background(), parallel, store)
+}
+
+// NewExecCtx is NewExecWith under a cancellation context: once ctx is
+// done, cells that have not started fail fast with ctx.Err() instead
+// of running, so a sweep unwinds within one cell boundary. Cells
+// already executing finish (results stay cacheable; simulations are
+// not interruptible mid-cell).
+func NewExecCtx(ctx context.Context, parallel int, store *resultstore.Store[core.Result]) *Exec {
 	if parallel < 1 {
 		parallel = 1
 	}
 	return &Exec{
-		pool:    runpool.New(context.Background(), parallel, 2*parallel),
+		pool:    runpool.New(ctx, parallel, 2*parallel),
 		store:   store,
 		futures: make(map[string]*Future),
 	}
 }
 
 // NewExecDisk is NewExec with an on-disk cache layer under dir, so
-// repeated invocations of the same build skip completed cells.
+// repeated invocations of the same build skip completed cells. Entries
+// land in a per-build-stamp subdirectory (see resultstore.OpenStamped)
+// so `kurec cache gc` can evict stale builds wholesale.
 func NewExecDisk(parallel int, dir string) (*Exec, error) {
-	store, err := resultstore.Open[core.Result](dir, defaultCacheEntries)
+	store, err := resultstore.OpenStamped[core.Result](dir, buildStamp(), defaultCacheEntries)
 	if err != nil {
 		return nil, err
 	}

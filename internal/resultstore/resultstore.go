@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 )
 
@@ -94,6 +96,183 @@ func Open[V any](dir string, maxEntries int) (*Store[V], error) {
 	s := New[V](maxEntries)
 	s.dir = dir
 	return s, nil
+}
+
+// stampFile is the marker inside each stamped subdirectory recording
+// the full build stamp its entries belong to.
+const stampFile = "STAMP"
+
+// stampDirName maps a build stamp to its subdirectory under the cache
+// root. The "b-" prefix keeps stamped trees distinguishable from the
+// two-hex-character key fan-out directories.
+func stampDirName(stamp string) string {
+	sum := sha256.Sum256([]byte(stamp))
+	return "b-" + hex.EncodeToString(sum[:6])
+}
+
+// StampPath returns the subdirectory OpenStamped(dir, stamp, ...)
+// reads and writes — the "hit path" of a given build.
+func StampPath(dir, stamp string) string {
+	return filepath.Join(dir, stampDirName(stamp))
+}
+
+// OpenStamped is Open rooted at dir/<hash-of-stamp>: each build writes
+// its entries into its own subdirectory, marked by a STAMP file
+// carrying the full stamp string, so tooling can attribute disk usage
+// per build and garbage-collect stale builds wholesale (see ScanDir
+// and GC).
+func OpenStamped[V any](dir, stamp string, maxEntries int) (*Store[V], error) {
+	sub := filepath.Join(dir, stampDirName(stamp))
+	s, err := Open[V](sub, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	marker := filepath.Join(sub, stampFile)
+	if _, err := os.Stat(marker); os.IsNotExist(err) {
+		if err := os.WriteFile(marker, []byte(stamp+"\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// StampStats summarizes one build's disk entries under a cache root.
+type StampStats struct {
+	// Dir is the subdirectory name ("" for legacy entries written by
+	// pre-stamp layouts directly under the root).
+	Dir string
+	// Stamp is the full build stamp, or "(unstamped)" for legacy
+	// entries.
+	Stamp   string
+	Entries int
+	Bytes   int64
+}
+
+// legacyStamp labels pre-stamp-layout entries in ScanDir output.
+const legacyStamp = "(unstamped)"
+
+// countEntries walks root totalling finished (.gob) entries and their
+// bytes, skipping stamp markers and temp files.
+func countEntries(root string) (int, int64) {
+	var entries int
+	var bytes int64
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) == ".gob" {
+			entries++
+			bytes += info.Size()
+		}
+		return nil
+	})
+	return entries, bytes
+}
+
+// isHexFanout reports whether name is a two-hex-character key fan-out
+// directory of the flat (legacy) layout.
+func isHexFanout(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for _, c := range name {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanDir inventories a cache root: one StampStats per stamped build
+// subdirectory, plus one for any legacy unstamped entries directly
+// under the root. Results are sorted by descending size.
+func ScanDir(dir string) ([]StampStats, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []StampStats
+	legacy := StampStats{Stamp: legacyStamp}
+	for _, de := range des {
+		name := de.Name()
+		switch {
+		case de.IsDir() && strings.HasPrefix(name, "b-"):
+			st := StampStats{Dir: name, Stamp: legacyStamp}
+			if b, err := os.ReadFile(filepath.Join(dir, name, stampFile)); err == nil {
+				st.Stamp = strings.TrimSpace(string(b))
+			}
+			st.Entries, st.Bytes = countEntries(filepath.Join(dir, name))
+			out = append(out, st)
+		case de.IsDir() && isHexFanout(name):
+			n, b := countEntries(filepath.Join(dir, name))
+			legacy.Entries += n
+			legacy.Bytes += b
+		case !de.IsDir() && filepath.Ext(name) == ".gob":
+			if info, err := de.Info(); err == nil {
+				legacy.Entries++
+				legacy.Bytes += info.Size()
+			}
+		}
+	}
+	if legacy.Entries > 0 {
+		out = append(out, legacy)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out, nil
+}
+
+// GC removes every cache tree under dir that does not belong to
+// keepStamp: stamped subdirectories with a different (or unreadable)
+// stamp, and all legacy unstamped entries. It returns what was
+// removed. Only paths the store itself lays out are touched — stamped
+// "b-*" trees, two-hex fan-out directories, and loose .gob/.tmp files.
+func GC(dir, keepStamp string) (removedEntries int, removedBytes int64, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("resultstore: %w", err)
+	}
+	remove := func(path string, entries int, bytes int64) error {
+		if err := os.RemoveAll(path); err != nil {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+		removedEntries += entries
+		removedBytes += bytes
+		return nil
+	}
+	for _, de := range des {
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case de.IsDir() && strings.HasPrefix(name, "b-"):
+			stamp := ""
+			if b, err := os.ReadFile(filepath.Join(path, stampFile)); err == nil {
+				stamp = strings.TrimSpace(string(b))
+			}
+			if stamp == keepStamp {
+				continue
+			}
+			n, b := countEntries(path)
+			if err := remove(path, n, b); err != nil {
+				return removedEntries, removedBytes, err
+			}
+		case de.IsDir() && isHexFanout(name):
+			n, b := countEntries(path)
+			if err := remove(path, n, b); err != nil {
+				return removedEntries, removedBytes, err
+			}
+		case !de.IsDir() && (filepath.Ext(name) == ".gob" || filepath.Ext(name) == ".tmp"):
+			var size int64
+			n := 0
+			if info, err := de.Info(); err == nil && filepath.Ext(name) == ".gob" {
+				size = info.Size()
+				n = 1
+			}
+			if err := remove(path, n, size); err != nil {
+				return removedEntries, removedBytes, err
+			}
+		}
+	}
+	return removedEntries, removedBytes, nil
 }
 
 // Do returns the value cached under key, computing it with compute on
@@ -234,10 +413,24 @@ func (s *Store[V]) writeDisk(key string, v V) {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return
 	}
-	// Write-then-rename so a crashed process never leaves a torn file
-	// that readDisk would have to reject.
+	// Write-fsync-rename so a crash can never publish a torn or empty
+	// entry under the final name: the rename only happens after the
+	// temp file's bytes are durable. (A torn temp file left by a crash
+	// is invisible to readDisk and swept by GC.)
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return
+	}
+	if err := f.Close(); err != nil {
 		return
 	}
 	_ = os.Rename(tmp, p)

@@ -193,3 +193,209 @@ func ExampleStore_Do() {
 	// computed
 	// computed
 }
+
+// TestTornDiskWriteInvisible simulates a crash mid-write: a torn .tmp
+// file must never be read back, and a torn final file (pre-fsync-era
+// layout) fails decoding and is recomputed.
+func TestTornDiskWriteInvisible(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open[int](dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("cell")
+
+	// A crash between OpenFile and Rename leaves only the temp file.
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p+".tmp", []byte("torn gob bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn temp file was served as a cache entry")
+	}
+	computed := 0
+	v, err := s.Do(key, func() (int, error) { computed++; return 42, nil })
+	if err != nil || v != 42 || computed != 1 {
+		t.Fatalf("Do over torn tmp = (%d, %v), computed %d times", v, err, computed)
+	}
+
+	// The recompute must have published a clean entry under the final
+	// name; a fresh store reads it without recomputing.
+	s2, err := Open[int](dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s2.Do(key, func() (int, error) { t.Fatal("recompute despite durable entry"); return 0, nil })
+	if err != nil || v2 != 42 {
+		t.Fatalf("replayed entry = (%d, %v)", v2, err)
+	}
+}
+
+func TestOpenStamped(t *testing.T) {
+	root := t.TempDir()
+	s, err := OpenStamped[int](root, "go1.x-abc", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Do(Key("a"), func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The entry lives under the stamp's subdirectory with its marker.
+	sub := StampPath(root, "go1.x-abc")
+	b, err := os.ReadFile(filepath.Join(sub, stampFile))
+	if err != nil {
+		t.Fatalf("no STAMP marker: %v", err)
+	}
+	if got := string(b); got != "go1.x-abc\n" {
+		t.Errorf("STAMP = %q", got)
+	}
+
+	// A second build stamp gets a disjoint tree: its store misses.
+	s2, err := OpenStamped[int](root, "go1.y-def", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(Key("a")); ok {
+		t.Error("entry leaked across build stamps")
+	}
+	// Same stamp reopens warm.
+	s3, err := OpenStamped[int](root, "go1.x-abc", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s3.Get(Key("a")); !ok || v != 1 {
+		t.Errorf("same-stamp reopen = (%d, %v), want warm hit", v, ok)
+	}
+}
+
+// populate writes n entries through a stamped store and returns it.
+func populateStamped(t *testing.T, root, stamp string, n int) {
+	t.Helper()
+	s, err := OpenStamped[int](root, stamp, n+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Do(Key(stamp, fmt.Sprint(i)), func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScanDirAndGC(t *testing.T) {
+	root := t.TempDir()
+	populateStamped(t, root, "build-old", 3)
+	populateStamped(t, root, "build-new", 2)
+	// Legacy flat-layout debris: a loose entry, a fan-out dir, a torn tmp.
+	if err := os.WriteFile(filepath.Join(root, "ab.gob"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "cd"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "cd", "ef.gob"), []byte("xy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "zz.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := ScanDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStamp := map[string]StampStats{}
+	for _, st := range stats {
+		byStamp[st.Stamp] = st
+	}
+	if st := byStamp["build-old"]; st.Entries != 3 {
+		t.Errorf("build-old = %+v, want 3 entries", st)
+	}
+	if st := byStamp["build-new"]; st.Entries != 2 {
+		t.Errorf("build-new = %+v, want 2 entries", st)
+	}
+	if st := byStamp[legacyStamp]; st.Entries != 2 {
+		t.Errorf("legacy = %+v, want 2 entries (loose + fan-out)", st)
+	}
+
+	entries, bytes, err := GC(root, "build-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removed: 3 old-stamp entries + 2 legacy entries (the torn .tmp is
+	// swept too but never counted as an entry).
+	if entries != 5 {
+		t.Errorf("GC removed %d entries, want 5", entries)
+	}
+	if bytes == 0 {
+		t.Error("GC reported zero bytes removed")
+	}
+	stats2, err := ScanDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats2) != 1 || stats2[0].Stamp != "build-new" || stats2[0].Entries != 2 {
+		t.Fatalf("after GC: %+v, want only build-new with 2 entries", stats2)
+	}
+	if _, err := os.Stat(filepath.Join(root, "zz.tmp")); !os.IsNotExist(err) {
+		t.Error("GC left the torn .tmp file behind")
+	}
+	// The kept build still reads warm after GC.
+	s, err := OpenStamped[int](root, "build-new", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get(Key("build-new", "0")); !ok || v != 0 {
+		t.Errorf("kept entry = (%d, %v), want warm hit", v, ok)
+	}
+}
+
+// TestTruncatedDiskEntryRecomputed simulates a power cut tearing a
+// finished entry: the half-written gob is a miss, recomputed, and
+// rewritten intact.
+func TestTruncatedDiskEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("cell")
+	if _, err := s.Do(key, func() (diskVal, error) { return diskVal{N: 7}, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the entry mid-record.
+	p := s.path(key)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < 2 {
+		t.Fatalf("gob entry suspiciously small: %d bytes", len(b))
+	}
+	if err := os.WriteFile(p, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed := 0
+	v, err := s2.Do(key, func() (diskVal, error) { computed++; return diskVal{N: 7}, nil })
+	if err != nil || v.N != 7 || computed != 1 {
+		t.Fatalf("Do over torn entry = (%+v, %v), computed %d times", v, err, computed)
+	}
+	// The rewrite repaired the file: a third store reads it cold.
+	s3, err := Open[diskVal](dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s3.Get(key); !ok || got.N != 7 {
+		t.Fatalf("repaired entry = (%+v, %v)", got, ok)
+	}
+}

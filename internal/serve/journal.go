@@ -1,0 +1,278 @@
+package serve
+
+// The job journal is kurecd's write-ahead log: every job transition
+// (submit, start, cancel request, terminal state) is appended as one
+// CRC-framed JSON record and fsync'd before the transition is
+// acknowledged, so a SIGKILL — or a power cut — loses at most the cell
+// that was executing, never the job. On boot the daemon replays the
+// journal, restores terminal jobs (reports come back from sidecar
+// files), and re-enqueues everything that was queued or running when
+// the process died.
+//
+// Framing: one record per line, "%08x %s\n" — the IEEE CRC32 of the
+// JSON bytes, a space, the JSON, a newline. The format is torn-tail
+// tolerant by construction: a crash mid-append leaves a final line
+// that is unterminated or fails its checksum, replay stops at the last
+// intact record, and the torn bytes are truncated away before the next
+// append. Records are never rewritten in place.
+//
+// Finished reports are too large to inline into the log, so a done
+// record stores only the report's SHA-256; the bytes live in a sidecar
+// file under <journal>.reports/, written atomically (temp file, fsync,
+// rename) *before* the done record is appended. If the done record
+// exists, the sidecar is complete; if the process died between the
+// two, replay sees a started-but-unfinished job and simply re-runs it
+// against the warm result cache.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal record types.
+const (
+	recSubmit = "submit" // job accepted: id + full request
+	recStart  = "start"  // runner picked the job up
+	recCancel = "cancel" // client requested cancellation of a running job
+	recDone   = "done"   // terminal: state done/failed/cancelled
+)
+
+// Entry is one journal record. A submit record carries the request; a
+// done record carries the terminal state, the error (failed jobs), and
+// the report digest (done jobs).
+type Entry struct {
+	T     string      `json:"t"`
+	ID    string      `json:"id"`
+	At    time.Time   `json:"at"`
+	Req   *RunRequest `json:"req,omitempty"`
+	State JobState    `json:"state,omitempty"`
+	Err   string      `json:"err,omitempty"`
+	SHA   string      `json:"sha,omitempty"`
+}
+
+// Journal is the append-only log plus its report sidecar directory.
+// Methods are safe for concurrent use; a nil *Journal is valid and
+// makes every operation a no-op (journalling disabled).
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	// inject, when non-nil, is consulted at named fault points
+	// ("append.write", "append.sync", "report.encode", "report.sync",
+	// "report.rename") and its error is taken as that operation's
+	// failure — the unit-test hook for every recovery branch.
+	inject func(point string) error
+}
+
+// fault consults the injection hook at a named fault point.
+func (j *Journal) fault(point string) error {
+	if j.inject == nil {
+		return nil
+	}
+	return j.inject(point)
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// every intact record, truncates a torn tail left by a crash, and
+// returns the journal positioned for appending plus the replayed
+// entries in log order.
+func OpenJournal(path string) (*Journal, []Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	entries, good := scanJournal(b)
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	if good < int64(len(b)) {
+		// Torn tail: drop the partial record so the next append starts
+		// on a clean boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, entries, nil
+}
+
+// scanJournal decodes intact records from raw journal bytes and
+// returns them with the byte offset of the end of the last intact
+// record. Anything after that offset — an unterminated line, a failed
+// checksum, malformed JSON — is a torn tail and is ignored.
+func scanJournal(b []byte) ([]Entry, int64) {
+	var entries []Entry
+	var good int64
+	for off := 0; off < len(b); {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // unterminated final line
+		}
+		line := b[off : off+nl]
+		e, ok := decodeRecord(line)
+		if !ok {
+			break
+		}
+		entries = append(entries, e)
+		off += nl + 1
+		good = int64(off)
+	}
+	return entries, good
+}
+
+// decodeRecord parses one framed line: 8 hex CRC digits, a space, JSON.
+func decodeRecord(line []byte) (Entry, bool) {
+	var e Entry
+	if len(line) < 10 || line[8] != ' ' {
+		return e, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return e, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return e, false
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, false
+	}
+	return e, true
+}
+
+// Append encodes, frames, writes, and fsyncs one record. The record is
+// durable when Append returns nil; on error the caller must assume the
+// record may or may not survive a crash (a torn append is truncated at
+// the next boot either way).
+func (j *Journal) Append(e Entry) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("serve: journal: encode: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.fault("append.write"); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.fault("append.sync"); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	return nil
+}
+
+// Close fsyncs and closes the log file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// reportsDir is the sidecar directory holding finished report bytes.
+func (j *Journal) reportsDir() string { return j.path + ".reports" }
+
+// reportPath maps a job id (validated at submit, safe as a path
+// component) to its sidecar file.
+func (j *Journal) reportPath(id string) string {
+	return filepath.Join(j.reportsDir(), id+".json")
+}
+
+// reportSHA is the digest stored in done records and verified on
+// replay, so a torn or stale sidecar can never be served as a report.
+func reportSHA(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// WriteReport durably stores a finished report's bytes in the sidecar
+// directory (temp file, fsync, rename) and returns their digest for
+// the done record. Callers append the done record only after
+// WriteReport succeeds.
+func (j *Journal) WriteReport(id string, b []byte) (string, error) {
+	if j == nil {
+		return "", nil
+	}
+	if err := j.fault("report.encode"); err != nil {
+		return "", fmt.Errorf("serve: journal: report %s: %w", id, err)
+	}
+	if err := os.MkdirAll(j.reportsDir(), 0o755); err != nil {
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	p := j.reportPath(id)
+	tmp := p + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.fault("report.sync"); err != nil {
+		f.Close()
+		return "", fmt.Errorf("serve: journal: report %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.fault("report.rename"); err != nil {
+		return "", fmt.Errorf("serve: journal: report %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return "", fmt.Errorf("serve: journal: %w", err)
+	}
+	return reportSHA(b), nil
+}
+
+// ReadReport loads a job's sidecar report and verifies it against the
+// digest from its done record. A missing or mismatching sidecar
+// returns false — the caller re-enqueues the job, which regenerates
+// the report from the (cached) cells.
+func (j *Journal) ReadReport(id, sha string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(j.reportPath(id))
+	if err != nil {
+		return nil, false
+	}
+	if sha != "" && reportSHA(b) != sha {
+		return nil, false
+	}
+	return b, true
+}

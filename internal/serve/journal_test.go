@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustOpenJournal(t *testing.T, path string) (*Journal, []Entry) {
+	t.Helper()
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, entries
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, entries := mustOpenJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	req := RunRequest{Suite: "quick", Experiments: []string{"2"}}
+	records := []Entry{
+		{T: recSubmit, ID: "job-0001", At: at, Req: &req},
+		{T: recStart, ID: "job-0001", At: at.Add(time.Second)},
+		{T: recDone, ID: "job-0001", At: at.Add(time.Minute), State: StateDone, SHA: "abc"},
+	}
+	for _, e := range records {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got := mustOpenJournal(t, path)
+	defer j2.Close()
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(records))
+	}
+	for i, e := range got {
+		if e.T != records[i].T || e.ID != records[i].ID || !e.At.Equal(records[i].At) {
+			t.Errorf("entry %d = %+v, want %+v", i, e, records[i])
+		}
+	}
+	if got[0].Req == nil || got[0].Req.Suite != "quick" || got[0].Req.Experiments[0] != "2" {
+		t.Errorf("submit request did not round-trip: %+v", got[0].Req)
+	}
+	if got[2].State != StateDone || got[2].SHA != "abc" {
+		t.Errorf("done record did not round-trip: %+v", got[2])
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: the torn final
+// line is dropped on replay, truncated from the file, and appending
+// afterwards produces a clean log.
+func TestJournalTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tear func(b []byte) []byte
+	}{
+		{"unterminated-line", func(b []byte) []byte {
+			return append(b, []byte(`00000000 {"t":"start","id":"job-0002`)...)
+		}},
+		{"bad-crc", func(b []byte) []byte {
+			return append(b, []byte("deadbeef {\"t\":\"start\",\"id\":\"job-0002\"}\n")...)
+		}},
+		{"garbage", func(b []byte) []byte {
+			return append(b, []byte("\x00\x17garbage\n")...)
+		}},
+		{"truncated-mid-record", func(b []byte) []byte {
+			return b[:len(b)-7]
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j, _ := mustOpenJournal(t, path)
+			if err := j.Append(Entry{T: recSubmit, ID: "job-0001", Req: &RunRequest{Suite: "quick"}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(Entry{T: recStart, ID: "job-0001"}); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.tear(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			j2, entries := mustOpenJournal(t, path)
+			wantEntries := 2
+			if tc.name == "truncated-mid-record" {
+				wantEntries = 1
+			}
+			if len(entries) != wantEntries {
+				t.Fatalf("replayed %d entries, want %d", len(entries), wantEntries)
+			}
+			// The torn bytes must be gone so the next append starts a
+			// fresh record boundary.
+			if err := j2.Append(Entry{T: recDone, ID: "job-0001", State: StateFailed, Err: "x"}); err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			_, entries3 := mustOpenJournal(t, path)
+			if len(entries3) != wantEntries+1 {
+				t.Fatalf("after torn-tail repair replayed %d entries, want %d", len(entries3), wantEntries+1)
+			}
+			if last := entries3[len(entries3)-1]; last.T != recDone || last.Err != "x" {
+				t.Fatalf("appended record after repair = %+v", last)
+			}
+		})
+	}
+}
+
+func TestJournalReportSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := mustOpenJournal(t, path)
+	defer j.Close()
+
+	report := []byte(`{"schema":"x"}`)
+	sha, err := j.WriteReport("job-0001", report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha == "" {
+		t.Fatal("no digest returned")
+	}
+	got, ok := j.ReadReport("job-0001", sha)
+	if !ok || string(got) != string(report) {
+		t.Fatalf("ReadReport = (%q, %v)", got, ok)
+	}
+	// A digest mismatch (stale or torn sidecar) must read as missing.
+	if _, ok := j.ReadReport("job-0001", "0000"); ok {
+		t.Error("mismatched digest was accepted")
+	}
+	if _, ok := j.ReadReport("job-9999", sha); ok {
+		t.Error("absent sidecar was accepted")
+	}
+	// A corrupted sidecar fails its digest.
+	if err := os.WriteFile(j.reportPath("job-0001"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.ReadReport("job-0001", sha); ok {
+		t.Error("corrupt sidecar was accepted")
+	}
+}
+
+// TestJournalFaultInjection drives every injected fault point and
+// asserts the failure surfaces as an error without corrupting the log:
+// records appended after a failed operation still replay.
+func TestJournalFaultInjection(t *testing.T) {
+	points := []string{"append.write", "append.sync", "report.encode", "report.sync", "report.rename"}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j, _ := mustOpenJournal(t, path)
+			defer j.Close()
+			boom := errors.New("injected " + point)
+			armed := true
+			j.inject = func(p string) error {
+				if armed && p == point {
+					return boom
+				}
+				return nil
+			}
+
+			var err error
+			if strings.HasPrefix(point, "append.") {
+				err = j.Append(Entry{T: recSubmit, ID: "job-0001", Req: &RunRequest{}})
+			} else {
+				_, err = j.WriteReport("job-0001", []byte("r"))
+			}
+			if !errors.Is(err, boom) {
+				t.Fatalf("fault at %s: err = %v, want injected error", point, err)
+			}
+			if strings.HasPrefix(point, "report.") {
+				// A failed sidecar write must never be readable.
+				if _, ok := j.ReadReport("job-0001", reportSHA([]byte("r"))); ok {
+					t.Error("failed report write left a readable sidecar")
+				}
+			}
+
+			// Recovery: disarm the fault and confirm the journal still
+			// appends and replays cleanly. ("append.write" may have left
+			// a torn tail — exactly what replay must tolerate.)
+			armed = false
+			if err := j.Append(Entry{T: recDone, ID: "job-0001", State: StateFailed, Err: "f"}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.WriteReport("job-0001", []byte("r2")); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			_, entries := mustOpenJournal(t, path)
+			found := false
+			for _, e := range entries {
+				if e.T == recDone && e.Err == "f" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("post-fault append did not survive replay: %+v", entries)
+			}
+		})
+	}
+}
+
+// TestNilJournalIsNoOp: a server without -journal uses a nil *Journal
+// everywhere; every method must be safe.
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Entry{T: recSubmit}); err != nil {
+		t.Fatal(err)
+	}
+	if sha, err := j.WriteReport("id", []byte("r")); err != nil || sha != "" {
+		t.Fatalf("WriteReport = (%q, %v)", sha, err)
+	}
+	if _, ok := j.ReadReport("id", ""); ok {
+		t.Fatal("nil journal returned a report")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
