@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -53,6 +54,8 @@ func main() {
 		cachedir = flag.String("cachedir", "", "persist cell results to this directory and reuse them across invocations of the same build")
 		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprof  = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
+		metrics  = flag.Bool("metrics", false, "record a windowed flight-recorder time series per measured run (requires -json; composes with -parallel)")
+		metricsW = flag.Float64("metrics-window", 10, "flight-recorder window span in simulated microseconds")
 	)
 	flag.Parse()
 
@@ -142,6 +145,21 @@ func main() {
 	if err := suite.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "killerusec:", err)
 		os.Exit(1)
+	}
+
+	// The flight recorder rides the normal parallel/cached execution
+	// path: the windowed series lands in the JSON run report only, so
+	// requesting it without -json would be a silent no-op.
+	if *metrics {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "killerusec: -metrics requires -json (the time series is part of the run report)")
+			os.Exit(1)
+		}
+		if *metricsW <= 0 {
+			fmt.Fprintf(os.Stderr, "killerusec: -metrics-window %v must be positive\n", *metricsW)
+			os.Exit(1)
+		}
+		suite.Base.MetricsWindow = sim.FromNanoseconds(*metricsW * 1e3)
 	}
 
 	// Tracing attaches one recorder to the whole invocation: every

@@ -14,6 +14,8 @@
 //	kurec check -in run.json -against base.json  # cell-by-cell regression diff
 //	kurec cache stats -dir .kucache            # disk cache usage per build stamp
 //	kurec cache gc -dir .kucache               # evict entries from stale builds
+//	kurec top job-0003                         # live flight-recorder view of a kurecd job
+//	kurec metrics run.json -csv                # flatten a report's time series to CSV
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -48,6 +50,10 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "cache":
 		err = cmdCache(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -59,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache|top|metrics [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// cmdMetrics extracts the flight-recorder time series from a run
+// report written with `killerusec -metrics -json` (or fetched from
+// kurecd). The default output is a per-cell summary; -csv emits every
+// window of every cell as one flat CSV for plotting.
+//
+//	kurec metrics run.json
+//	kurec metrics run.json -csv > windows.csv
+//	kurec metrics run.json -csv -table fig3 -series prefetch
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit one CSV row per window across all selected cells")
+	table := fs.String("table", "", "restrict to this table id")
+	series := fs.String("series", "", "restrict to series whose label contains this substring")
+	// The report path may precede the flags (`kurec metrics run.json
+	// -csv`) or follow them; peel a leading non-flag argument first.
+	var path string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return fmt.Errorf("metrics needs a report file (from `killerusec -metrics -json <file>`)")
+	}
+
+	r, err := report.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if r.Timeseries == nil {
+		return fmt.Errorf("%s has no timeseries section (run killerusec with -metrics)", path)
+	}
+
+	var cells []metricsCell
+	for _, t := range r.Tables {
+		if *table != "" && t.ID != *table {
+			continue
+		}
+		for _, s := range t.Series {
+			if *series != "" && !strings.Contains(s.Label, *series) {
+				continue
+			}
+			for i, ts := range s.Metrics {
+				if ts == nil {
+					continue
+				}
+				cells = append(cells, metricsCell{t.ID, s.Label, float64(s.X[i]), ts})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("%s: no cells with metrics match the selection", path)
+	}
+
+	if *csv {
+		return writeMetricsCSV(os.Stdout, cells)
+	}
+
+	fmt.Printf("%s: timeseries v%d, window %gus, %d cells with metrics\n",
+		path, r.Timeseries.Version, r.Timeseries.WindowUs, len(cells))
+	fmt.Printf("%-8s %-28s %8s %8s %10s %10s %10s %10s\n",
+		"table", "series", "x", "windows", "starts", "completes", "p99_ns", "coalesced")
+	for _, c := range cells {
+		fmt.Printf("%-8s %-28s %8g %8d %10d %10d %10g %10d\n",
+			c.table, c.series, c.x, c.ts.Windows(),
+			c.ts.TotalStarts, c.ts.TotalCompletes, float64(c.ts.TotalP99Ns), c.ts.Coalesced)
+	}
+	return nil
+}
+
+// metricsCell is one datapoint that carries a flight-recorder series.
+type metricsCell struct {
+	table, series string
+	x             float64
+	ts            *report.TimeSeries
+}
+
+// writeMetricsCSV flattens every window of every cell into one CSV
+// stream: one row per (cell, window), cells in report order.
+func writeMetricsCSV(w io.Writer, cells []metricsCell) error {
+	if _, err := fmt.Fprintln(w, "table,series,x,window,start_us,window_us,starts,completes,retries,timeouts,abandoned,switches,p50_ns,p99_ns,p999_ns,lfb_mean,lfb_max,chipq_mean,chipq_max,sq_mean,sq_max,cq_mean,cq_max,runnable_mean,runnable_max"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		ts := c.ts
+		windowUs := float64(ts.WindowUs)
+		for i := range ts.Starts {
+			spanUs := windowUs
+			if i == len(ts.Starts)-1 {
+				spanUs = float64(ts.LastSpanUs)
+			}
+			_, err := fmt.Fprintf(w, "%s,%s,%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%g,%g,%g,%g,%d,%g,%d,%g,%d,%g,%d,%g,%d\n",
+				csvField(c.table), csvField(c.series), c.x, i, float64(i)*windowUs, spanUs,
+				ts.Starts[i], ts.Completes[i], ts.Retries[i], ts.Timeouts[i], ts.Abandoned[i], ts.Switches[i],
+				float64(ts.P50Ns[i]), float64(ts.P99Ns[i]), float64(ts.P999Ns[i]),
+				float64(ts.LFBMean[i]), ts.LFBMax[i],
+				float64(ts.ChipMean[i]), ts.ChipMax[i],
+				float64(ts.SQMean[i]), ts.SQMax[i],
+				float64(ts.CQMean[i]), ts.CQMax[i],
+				float64(ts.RunnableMean[i]), ts.RunnableMax[i])
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// csvField quotes a field when it contains CSV metacharacters.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -39,9 +40,14 @@ type env struct {
 	tr     *trace.Run
 	trCore []trace.Track // per-core access-span tracks
 
+	// rec is nil unless the config enables the flight recorder
+	// (MetricsWindow > 0); like tr, disabled telemetry costs the
+	// mechanisms exactly one nil check per event.
+	rec *telemetry.Recorder
+
 	// Pre-rendered per-core counter-track names, so the state-change
 	// hooks never format strings on the hot path.
-	sqName, cqName, runnableName []string
+	lfbName, sqName, cqName, runnableName []string
 }
 
 func newEnv(cfg platform.Config, backing replay.Backing) *env {
@@ -284,25 +290,73 @@ func (e *env) startTrace(label string) {
 
 	// Occupancy counter tracks, sampled on state change. Names are
 	// pre-rendered so the hot-path hooks never call fmt.
+	e.lfbName = make([]string, cores)
 	e.sqName = make([]string, cores)
 	e.cqName = make([]string, cores)
 	e.runnableName = make([]string, cores)
 	for i := 0; i < cores; i++ {
-		i := i
-		lfbName := fmt.Sprintf("lfb/core%d", i)
+		e.lfbName[i] = fmt.Sprintf("lfb/core%d", i)
 		e.sqName[i] = fmt.Sprintf("sq/core%d", i)
 		e.cqName[i] = fmt.Sprintf("cq/core%d", i)
 		e.runnableName[i] = fmt.Sprintf("runnable/core%d", i)
-		e.tr.Counter(0, lfbName, 0)
+		e.tr.Counter(0, e.lfbName[i], 0)
 		e.tr.Counter(0, e.sqName[i], 0)
 		e.tr.Counter(0, e.cqName[i], 0)
 		e.tr.Counter(0, e.runnableName[i], 0)
-		e.lfb[i].SetOnChange(func(inUse int) {
-			e.tr.Counter(e.eng.Now(), lfbName, inUse)
-		})
 	}
 	e.tr.Counter(0, "chipq", 0)
+}
+
+// startRecorder attaches the flight recorder when the config enables it
+// (MetricsWindow > 0). The recorder only aggregates values the
+// simulation already computes and never schedules events, so recorded
+// and unrecorded runs are timing-identical.
+func (e *env) startRecorder(label string) {
+	if e.cfg.MetricsWindow <= 0 {
+		return
+	}
+	e.rec = telemetry.NewRecorder(label, e.cfg.MetricsWindow, e.cfg.MetricsMaxWindows, e.cfg.MetricsSink)
+}
+
+// installPoolHooks installs the single-slot state-change observers on
+// the LFB pools and the chip-level queue, fanning out to whichever of
+// the trace run and the flight recorder are attached. The trace wants
+// absolute occupancy; the recorder wants deltas, converted with a
+// closure-captured previous value per pool.
+func (e *env) installPoolHooks() {
+	if e.tr == nil && e.rec == nil {
+		return
+	}
+	for i := range e.lfb {
+		i := i
+		prev := 0
+		e.lfb[i].SetOnChange(func(inUse int) {
+			if e.tr != nil {
+				e.tr.Counter(e.eng.Now(), e.lfbName[i], inUse)
+			}
+			if e.rec != nil {
+				e.rec.GaugeAdd(telemetry.GaugeLFB, e.eng.Now(), inUse-prev)
+			}
+			prev = inUse
+		})
+	}
+	prevChip := 0
 	e.chip.SetOnChange(func(inUse int) {
-		e.tr.Counter(e.eng.Now(), "chipq", inUse)
+		if e.tr != nil {
+			e.tr.Counter(e.eng.Now(), "chipq", inUse)
+		}
+		if e.rec != nil {
+			e.rec.GaugeAdd(telemetry.GaugeChip, e.eng.Now(), inUse-prevChip)
+		}
+		prevChip = inUse
 	})
+}
+
+// startObservability attaches every enabled observability layer — the
+// Perfetto trace run, the flight recorder, and the shared pool hooks
+// that feed them — for one measured run.
+func (e *env) startObservability(label string) {
+	e.startTrace(label)
+	e.startRecorder(label)
+	e.installPoolHooks()
 }

@@ -34,11 +34,7 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 	}()
 
 	ready := uthread.NewFIFO()
-	if e.tr != nil {
-		rq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.sqName[coreID], n) }
-		cq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.cqName[coreID], n) }
-		ready.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.runnableName[coreID], n) }
-	}
+	installQueueHooks(e, coreID, rq, cq, ready)
 	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
 	waiting := make(map[uint64]descWait)
 	for _, th := range threads {
@@ -78,6 +74,10 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 				}
 				delete(waiting, compl.ID)
 				c.recordLatency(compl.Posted - w.submitted)
+				if e.rec != nil {
+					e.rec.Finished(p.Now())
+					e.rec.Sample(p.Now(), compl.Posted-w.submitted)
+				}
 				w.sp.End(compl.Posted)
 				st := states[w.th]
 				st.data[w.slot] = ep.Data(compl.ID)
@@ -98,6 +98,9 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			// thread was switched away from), then the syscall returns.
 			p.Sleep(e.cfg.KernelCtxSwitch)
 			c.switches++
+			if e.rec != nil {
+				e.rec.Switches(p.Now(), 1)
+			}
 			p.Sleep(e.cfg.SyscallCost)
 			req = th.Resume(st.payload)
 			st.payload = nil
@@ -122,6 +125,9 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			for i, addr := range req.Addrs {
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
+				if e.rec != nil {
+					e.rec.Started(p.Now())
+				}
 				target := responseTarget(coreID, th.ID(), i)
 				var sp trace.Span
 				if e.tr != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/uthread"
 )
@@ -30,8 +31,21 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 	}
 	rr := uthread.NewRoundRobin(threads)
 	var cur *uthread.Thread
-	if e.tr != nil {
-		e.tr.Counter(p.Now(), e.runnableName[coreID], rr.Live())
+
+	// Runnable-set observability: the trace counter wants the absolute
+	// live count, the recorder gauge a delta from the previous sample.
+	prevLive := 0
+	setLive := func(n int) {
+		if e.tr != nil {
+			e.tr.Counter(p.Now(), e.runnableName[coreID], n)
+		}
+		if e.rec != nil {
+			e.rec.GaugeAdd(telemetry.GaugeRunnable, p.Now(), n-prevLive)
+		}
+		prevLive = n
+	}
+	if e.tr != nil || e.rec != nil {
+		setLive(rr.Live())
 	}
 
 	for {
@@ -42,6 +56,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 		if cur != nil && th != cur {
 			p.Sleep(e.cfg.CtxSwitch)
 			c.switches++
+			if e.rec != nil {
+				e.rec.Switches(p.Now(), 1)
+			}
 		}
 		cur = th
 
@@ -57,6 +74,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				p.Wait(g) // demand load; no cost if the line already filled
 			}
 			c.recordLatency(p.Now() - pa.issued)
+			if e.rec != nil {
+				e.rec.Sample(p.Now(), p.Now()-pa.issued)
+			}
 			delete(pending, th)
 			req = th.Resume(pa.data)
 		} else {
@@ -123,6 +143,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				sp.Point(p.Now(), "lfb-acquired")
 				p.Sleep(e.cfg.PrefetchIssue)
 				c.accesses++
+				if e.rec != nil {
+					e.rec.Started(p.Now())
+				}
 
 				g := e.eng.NewGate()
 				pa.gates[i] = g
@@ -142,6 +165,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 							e.chip.Release()
 							lfb.Release()
 							g.Fire()
+							if e.rec != nil {
+								e.rec.Finished(e.eng.Now())
+							}
 							sp.End(e.eng.Now())
 						})
 					})
@@ -169,6 +195,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 					e.chip.Release()
 					lfb.Release()
 					g.Fire()
+					if e.rec != nil {
+						e.rec.Finished(e.eng.Now())
+					}
 					sp.End(e.eng.Now())
 				}
 				var attempt func(n int)
@@ -181,14 +210,23 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 							return
 						}
 						c.timeouts++
+						if e.rec != nil {
+							e.rec.Timeouts(e.eng.Now(), 1)
+						}
 						sp.Point(e.eng.Now(), "timeout")
 						if n >= e.cfg.MaxRetries {
 							c.abandoned++
+							if e.rec != nil {
+								e.rec.Abandoned(e.eng.Now(), 1)
+							}
 							sp.Point(e.eng.Now(), "abandoned")
 							finish(make([]byte, platform.CacheLineBytes), false)
 							return
 						}
 						c.retries++
+						if e.rec != nil {
+							e.rec.Retries(e.eng.Now(), 1)
+						}
 						sp.Point(e.eng.Now(), "retry")
 						attempt(n + 1)
 					})
@@ -200,9 +238,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 			}
 			pending[th] = pa
 			// userctx_yield(): fall through to the scheduler.
-		} else if e.tr != nil {
+		} else if e.tr != nil || e.rec != nil {
 			// The thread just finished; record the shrunk runnable set.
-			e.tr.Counter(p.Now(), e.runnableName[coreID], rr.Live())
+			setLive(rr.Live())
 		}
 	}
 	c.coreFinished(p.Now())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/uthread"
 )
@@ -18,6 +19,11 @@ import (
 type Result struct {
 	stats.Measurement
 	Diag Diagnostics
+
+	// Series is the flight-recorder time series, nil unless the config
+	// enables it (MetricsWindow > 0). It is a pure value type so it
+	// rides through the gob-encoded result cache unchanged.
+	Series *stats.TimeSeries
 }
 
 // RunDRAMBaseline measures the single-threaded on-demand DRAM run that
@@ -75,6 +81,33 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 		}
 	}
 
+	// The flight recorder hooks the same per-load observer: issue times
+	// are monotone, so windows advance with issue order, and completion
+	// times that regress under recovery reordering fall into the current
+	// window (see telemetry.Recorder.advance).
+	var rec *telemetry.Recorder
+	if cfg.MetricsWindow > 0 {
+		rec = telemetry.NewRecorder(label, cfg.MetricsWindow, cfg.MetricsMaxWindows, cfg.MetricsSink)
+		traced := observe
+		observe = func(issue, complete sim.Time, out fault.AccessOutcome) {
+			if traced != nil {
+				traced(issue, complete, out)
+			}
+			rec.Started(issue)
+			rec.Finished(complete)
+			rec.Sample(complete, complete-issue)
+			if out.Timeouts > 0 {
+				rec.Timeouts(complete, out.Timeouts)
+			}
+			if out.Retries > 0 {
+				rec.Retries(complete, out.Retries)
+			}
+			if out.Abandoned {
+				rec.Abandoned(complete, 1)
+			}
+		}
+	}
+
 	r := cpu.DeviceOnDemandObserved(cfg, iters, inj, observe)
 	res := Result{Measurement: stats.Measurement{
 		Label:          label,
@@ -97,6 +130,7 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 	res.Measurement.AccessP50Ns = res.Diag.AccessP50Ns
 	res.Measurement.AccessP99Ns = res.Diag.AccessP99Ns
 	res.Measurement.AccessP999Ns = res.Diag.AccessP999Ns
+	res.Series = rec.Finish(r.Elapsed)
 	return res, nil
 }
 
@@ -130,12 +164,14 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 
 	e := newEnv(cfg, w.Backing())
 	if useReplay {
-		// Recording run: same execution, device in capture mode. Faults
-		// and tracing are stripped so the captured trace stays clean and
-		// the trace file shows only the measured run.
+		// Recording run: same execution, device in capture mode. Faults,
+		// tracing, and telemetry are stripped so the captured trace stays
+		// clean and only the measured run is observed.
 		recCfg := cfg
 		recCfg.Faults = fault.Plan{}
 		recCfg.Trace = nil
+		recCfg.MetricsWindow = 0
+		recCfg.MetricsSink = nil
 		rec := newEnv(recCfg, w.Backing())
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			rec.dev.EnableRecording(coreID)
@@ -155,7 +191,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 
 	label := fmt.Sprintf("%s/%s lat=%v cores=%d threads=%d",
 		mech, w.Name(), cfg.DeviceLatency, cfg.Cores, threadsPerCore)
-	e.startTrace(label)
+	e.startObservability(label)
 	c, err := launch(e, w, threadsPerCore, run)
 	if err != nil {
 		return Result{}, err
@@ -178,6 +214,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		},
 		Diag: diag,
 	}
+	res.Series = e.rec.Finish(c.finish)
 	e.eng.Recycle()
 	return res, nil
 }
@@ -209,6 +246,8 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 	}
 	cfg.Faults = fault.Plan{}
 	cfg.Trace = nil // recordings capture clean traces, never trace events
+	cfg.MetricsWindow = 0
+	cfg.MetricsSink = nil
 	e := newEnv(cfg, w.Backing())
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		e.dev.EnableRecording(coreID)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/uthread"
 )
@@ -75,11 +76,19 @@ func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.S
 		}
 		delete(waiting, id)
 		c.timeouts++
+		if e.rec != nil {
+			e.rec.Timeouts(p.Now(), 1)
+		}
 		w.sp.Point(p.Now(), "timeout")
 		if w.attempts >= e.cfg.MaxRetries {
 			// Out of budget: abandon with a zero-filled line.
 			c.abandoned++
 			c.recordLatency(p.Now() - w.submitted)
+			if e.rec != nil {
+				e.rec.Abandoned(p.Now(), 1)
+				e.rec.Finished(p.Now())
+				e.rec.Sample(p.Now(), p.Now()-w.submitted)
+			}
 			w.sp.Point(p.Now(), "abandoned")
 			w.sp.End(p.Now())
 			st := states[w.th]
@@ -92,6 +101,9 @@ func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.S
 			continue
 		}
 		c.retries++
+		if e.rec != nil {
+			e.rec.Retries(p.Now(), 1)
+		}
 		p.Sleep(e.cfg.SWQPerAccessOverhead)
 		w.attempts++
 		w.deadline = p.Now() + e.cfg.RetryTimeout(w.attempts)
@@ -104,6 +116,46 @@ func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.S
 		p.Sleep(e.cfg.DoorbellMMIO)
 		rq.ClearDoorbellRequested()
 		ep.Doorbell()
+	}
+}
+
+// installQueueHooks installs the depth observers on the request queue,
+// completion queue, and ready FIFO, sampled on every state change and
+// fanned out to the trace counters (absolute depth) and the recorder
+// gauges (deltas via a captured previous value). The hooks read the
+// engine clock directly because queue transitions happen in both core
+// and device contexts. Shared by the SWQ and kernel-queue mechanisms.
+func installQueueHooks(e *env, coreID int, rq *hostmem.RequestQueue, cq *hostmem.CompletionQueue, ready *uthread.FIFO) {
+	if e.tr == nil && e.rec == nil {
+		return
+	}
+	prevSQ, prevCQ, prevReady := 0, 0, 0
+	rq.OnChange = func(n int) {
+		if e.tr != nil {
+			e.tr.Counter(e.eng.Now(), e.sqName[coreID], n)
+		}
+		if e.rec != nil {
+			e.rec.GaugeAdd(telemetry.GaugeSQ, e.eng.Now(), n-prevSQ)
+		}
+		prevSQ = n
+	}
+	cq.OnChange = func(n int) {
+		if e.tr != nil {
+			e.tr.Counter(e.eng.Now(), e.cqName[coreID], n)
+		}
+		if e.rec != nil {
+			e.rec.GaugeAdd(telemetry.GaugeCQ, e.eng.Now(), n-prevCQ)
+		}
+		prevCQ = n
+	}
+	ready.OnChange = func(n int) {
+		if e.tr != nil {
+			e.tr.Counter(e.eng.Now(), e.runnableName[coreID], n)
+		}
+		if e.rec != nil {
+			e.rec.GaugeAdd(telemetry.GaugeRunnable, e.eng.Now(), n-prevReady)
+		}
+		prevReady = n
 	}
 }
 
@@ -120,14 +172,7 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 	defer ep.Stop()
 
 	ready := uthread.NewFIFO()
-	if e.tr != nil {
-		// Depth timelines, sampled on every state change. The hooks read
-		// the engine clock directly because queue transitions happen in
-		// both core and device contexts.
-		rq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.sqName[coreID], n) }
-		cq.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.cqName[coreID], n) }
-		ready.OnChange = func(n int) { e.tr.Counter(e.eng.Now(), e.runnableName[coreID], n) }
-	}
+	installQueueHooks(e, coreID, rq, cq, ready)
 	states := make(map[*uthread.Thread]*swqThreadState, len(threads))
 	waiting := make(map[uint64]descWait)
 	for _, th := range threads {
@@ -173,6 +218,12 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 				}
 				delete(waiting, compl.ID)
 				c.recordLatency(compl.Posted - w.submitted)
+				if e.rec != nil {
+					// Windowed at the drain time (monotone); the latency
+					// itself still ends at the device's post time.
+					e.rec.Finished(p.Now())
+					e.rec.Sample(p.Now(), compl.Posted-w.submitted)
+				}
 				w.sp.End(compl.Posted)
 				st := states[w.th]
 				st.data[w.slot] = ep.Data(compl.ID)
@@ -190,6 +241,9 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 		if cur != nil && th != cur {
 			p.Sleep(e.cfg.CtxSwitch)
 			c.switches++
+			if e.rec != nil {
+				e.rec.Switches(p.Now(), 1)
+			}
 		}
 		cur = th
 
@@ -241,6 +295,9 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			for i, addr := range req.Addrs {
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
 				c.accesses++
+				if e.rec != nil {
+					e.rec.Started(p.Now())
+				}
 				target := responseTarget(coreID, th.ID(), i)
 				var sp trace.Span
 				if e.tr != nil {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// metricsCfg returns the default platform with the flight recorder
+// enabled at a 10us window.
+func metricsCfg() platform.Config {
+	cfg := platform.Default()
+	cfg.MetricsWindow = 10 * sim.Microsecond
+	return cfg
+}
+
+func TestRecorderSeriesPresentOnlyWhenEnabled(t *testing.T) {
+	w := ubench(testIters)
+	plain := must(RunPrefetch(platform.Default(), w, 4, false))
+	if plain.Series != nil {
+		t.Error("recorder disabled but Result.Series is set")
+	}
+	rec := must(RunPrefetch(metricsCfg(), w, 4, false))
+	if rec.Series == nil {
+		t.Fatal("recorder enabled but Result.Series is nil")
+	}
+	if err := rec.Series.Validate(); err != nil {
+		t.Fatalf("series invalid: %v", err)
+	}
+}
+
+// TestRecorderTotalsMatchCounters cross-checks the flight recorder
+// against the mechanisms' own counters for every threaded mechanism:
+// the windowed starts must sum to the measured access count, and
+// completions must match starts on fault-free runs.
+func TestRecorderTotalsMatchCounters(t *testing.T) {
+	w := ubench(testIters)
+	cfg := metricsCfg()
+	runs := map[string]Result{
+		"prefetch": must(RunPrefetch(cfg, w, 4, false)),
+		"swqueue":  must(RunSWQueue(cfg, w, 4, false)),
+		"kernelq":  must(RunKernelQueue(cfg, w, 2, false)),
+		"ondemand": must(RunOnDemandDevice(cfg, w)),
+	}
+	for name, r := range runs {
+		ts := r.Series
+		if ts == nil {
+			t.Errorf("%s: no series", name)
+			continue
+		}
+		if ts.TotalStarts != uint64(r.Accesses) {
+			t.Errorf("%s: recorder starts %d != measured accesses %d", name, ts.TotalStarts, r.Accesses)
+		}
+		if ts.TotalCompletes != ts.TotalStarts {
+			t.Errorf("%s: completes %d != starts %d on a fault-free run", name, ts.TotalCompletes, ts.TotalStarts)
+		}
+		if ts.TotalP99Ns <= 0 {
+			t.Errorf("%s: rollup p99 = %g, want positive", name, ts.TotalP99Ns)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Errorf("%s: invalid series: %v", name, err)
+		}
+	}
+	// The prefetch mechanism must show LFB occupancy; the queue
+	// mechanisms must show software-queue occupancy instead.
+	pf := runs["prefetch"].Series
+	var lfb float64
+	for _, v := range pf.LFBMean {
+		lfb += v
+	}
+	if lfb == 0 {
+		t.Error("prefetch: LFB gauge never moved")
+	}
+	sq := runs["swqueue"].Series
+	var sqSum float64
+	for _, v := range sq.SQMean {
+		sqSum += v
+	}
+	if sqSum == 0 {
+		t.Error("swqueue: request-queue gauge never moved")
+	}
+}
+
+func TestRecorderDoesNotPerturbMeasurement(t *testing.T) {
+	// Telemetry is observational: enabling it must not change the
+	// simulated result (same events, same timings, same measurement).
+	w := ubench(testIters)
+	plain := must(RunPrefetch(platform.Default(), w, 8, false))
+	rec := must(RunPrefetch(metricsCfg(), w, 8, false))
+	if !reflect.DeepEqual(plain.Measurement, rec.Measurement) {
+		t.Errorf("recorder changed the measurement:\nplain: %+v\nrec:   %+v", plain.Measurement, rec.Measurement)
+	}
+	if !reflect.DeepEqual(plain.Diag, rec.Diag) {
+		t.Errorf("recorder changed the diagnostics:\nplain: %+v\nrec:   %+v", plain.Diag, rec.Diag)
+	}
+}
+
+func TestRecorderDeterministicAcrossRuns(t *testing.T) {
+	w := ubench(testIters)
+	a := must(RunSWQueue(metricsCfg(), w, 4, false))
+	b := must(RunSWQueue(metricsCfg(), w, 4, false))
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		t.Error("identical runs produced different series")
+	}
+}
+
+// TestRecorderSinkSeesEveryWindow wires a sink through the platform
+// config and checks the published stream against the finished series.
+func TestRecorderSinkSeesEveryWindow(t *testing.T) {
+	sink := &collectSink{}
+	cfg := metricsCfg()
+	cfg.MetricsSink = sink
+	r := must(RunPrefetch(cfg, ubench(testIters), 4, false))
+	if len(sink.events) != r.Series.Windows() {
+		t.Fatalf("sink saw %d windows, series has %d", len(sink.events), r.Series.Windows())
+	}
+	var starts uint64
+	for i, ev := range sink.events {
+		if ev.Index != i {
+			t.Errorf("event %d published out of order (Index %d)", i, ev.Index)
+		}
+		starts += ev.Starts
+	}
+	if starts != r.Series.TotalStarts {
+		t.Errorf("published starts %d != series total %d", starts, r.Series.TotalStarts)
+	}
+}
+
+type collectSink struct {
+	events []telemetry.WindowEvent
+}
+
+func (c *collectSink) PublishWindow(ev telemetry.WindowEvent) { c.events = append(c.events, ev) }

@@ -149,12 +149,16 @@ type CellSpec struct {
 	Replay bool
 }
 
-// Key returns the cell's canonical content address. The trace
-// recorder is excluded: tracing is observability and never alters a
-// measurement (and traced sweeps bypass the cache entirely).
+// Key returns the cell's canonical content address. The trace recorder
+// and the metrics sink are excluded: both are observability and never
+// alter a measurement (and traced sweeps bypass the cache entirely).
+// MetricsWindow/MetricsMaxWindows stay in the key — they change what a
+// cached Result carries (its flight-recorder series), so metric-enabled
+// cells must never collide with plain ones.
 func (c CellSpec) Key() string {
 	cfg := c.Config
 	cfg.Trace = nil
+	cfg.MetricsSink = nil
 	return resultstore.Key(
 		"cell-v1",
 		c.Mech,
@@ -389,6 +393,9 @@ type pendingCell struct {
 
 // resolve drains pending datapoints in submission order. A cell error
 // panics via must, matching the serial harness's failure behavior.
+// Flight-recorder series attach here regardless of the diag flag, so
+// every resolved datapoint of a -metrics sweep carries its window
+// series into the report.
 func resolve(cells []pendingCell) {
 	for _, c := range cells {
 		r := must(c.run.Result())
@@ -398,6 +405,7 @@ func resolve(cells []pendingCell) {
 		} else {
 			c.series.Add(c.x, r.NormalizedTo(b.Measurement))
 		}
+		c.series.AttachMetrics(r.Series)
 		if c.post != nil {
 			c.post(r)
 		}

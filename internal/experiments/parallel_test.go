@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -143,3 +145,69 @@ func ExampleSuite_parallel() {
 	fmt.Println(tb.ID, len(tb.Series) > 0)
 	// Output: fig2 true
 }
+
+// TestMetricsParallelByteIdentical extends the identity gate to the
+// flight recorder: a -metrics sweep must produce byte-identical
+// reports serially and under a worker pool, including every windowed
+// time series. This is what lets -metrics ride the parallel path
+// instead of forcing serial execution the way -trace does.
+func TestMetricsParallelByteIdentical(t *testing.T) {
+	mkSuite := func() Suite {
+		s := Quick()
+		s.Iterations = 300
+		s.AppLookups = 100
+		s.Threads = []int{1, 4}
+		s.Base.MetricsWindow = 10 * sim.Microsecond
+		return s
+	}
+	run := func(workers int) []byte {
+		s := mkSuite()
+		if workers > 0 {
+			s.Exec = NewExec(workers)
+			defer s.Exec.Close()
+		}
+		b, err := s.Report(RunPlan(PlanFor(s, "3"), nil)).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := run(0) // direct serial path, no executor
+	if !bytes.Contains(base, []byte(`"timeseries"`)) || !bytes.Contains(base, []byte(`"metrics"`)) {
+		t.Fatal("metrics sweep produced a report without time series")
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); !bytes.Equal(got, base) {
+			t.Errorf("parallel=%d metrics report differs from serial (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestCellKeyMetricsDiscrimination: the metrics window is part of the
+// cell identity (a recorded run computes more), but the sink — a live
+// streaming destination — must not be, or served jobs could never
+// share cache entries with CLI runs.
+func TestCellKeyMetricsDiscrimination(t *testing.T) {
+	s := Quick()
+	wl := s.ubenchSpec(1, 500)
+	plain := prefetchCell(s.Base, wl, 2, false)
+
+	withWindow := s.Base
+	withWindow.MetricsWindow = 10 * sim.Microsecond
+	rec := prefetchCell(withWindow, wl, 2, false)
+	if plain.Key() == rec.Key() {
+		t.Error("metrics window must change the cell key")
+	}
+
+	withSink := withWindow
+	withSink.MetricsSink = &nullSink{}
+	sunk := prefetchCell(withSink, wl, 2, false)
+	if rec.Key() != sunk.Key() {
+		t.Error("metrics sink must not change the cell key")
+	}
+}
+
+type nullSink struct{}
+
+func (nullSink) PublishWindow(telemetry.WindowEvent) {}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Report packages a sweep's tables as a machine-readable run report:
@@ -15,6 +16,14 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 	latUs := make([]float64, len(latencies))
 	for i, l := range latencies {
 		latUs[i] = l.Microseconds()
+	}
+	var ts *report.TimeseriesMeta
+	if s.Base.MetricsWindow > 0 {
+		ts = &report.TimeseriesMeta{
+			Version:    report.TimeseriesVersion,
+			WindowUs:   s.Base.MetricsWindow.Microseconds(),
+			MaxWindows: telemetry.EffectiveMaxWindows(s.Base.MetricsMaxWindows),
+		}
 	}
 	return &report.Report{
 		Schema:   report.SchemaName,
@@ -33,6 +42,7 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 			MLPLevels:     append([]int(nil), mlpLevels...),
 			KroneckerSeed: KroneckerSeed,
 		},
-		Tables: report.FromTables(tables),
+		Timeseries: ts,
+		Tables:     report.FromTables(tables),
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -161,6 +162,30 @@ type Config struct {
 	// with zero overhead and leaves every simulated timing untouched —
 	// traced and untraced runs produce identical measurements.
 	Trace *trace.Recorder
+
+	// MetricsWindow enables the flight recorder: every measured run
+	// records a windowed sim-time series (per-window throughput,
+	// recovery counts, queue occupancy, latency percentiles) with this
+	// window span — 10 µs is a good default for microsecond devices.
+	// Zero (the default) disables recording with zero overhead beyond
+	// one nil check per hot-path event. Unlike Trace, the recorder is
+	// deterministic under parallel sweep execution and participates in
+	// result caching, so it composes with -parallel and -cachedir.
+	MetricsWindow sim.Time
+
+	// MetricsMaxWindows bounds the recorder's retained ring. When the
+	// ring fills, adjacent windows coalesce pair-wise and the window
+	// span doubles, so any run length fits. Zero selects
+	// telemetry.DefaultMaxWindows (256); values are rounded up to an
+	// even count of at least 2.
+	MetricsMaxWindows int
+
+	// MetricsSink, when non-nil, additionally receives every sealed
+	// window live as the run executes (kurecd streams these to
+	// GET /v1/runs/{id}/metrics). Like Trace it is pure observability:
+	// it never affects simulated timing, and it is excluded from
+	// result-cache cell keys.
+	MetricsSink telemetry.Sink
 
 	// DescriptorBytes is the size of one software-queue request
 	// descriptor: "the address to read, and the target address where
@@ -509,6 +534,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: PCIe replay penalty %v must be non-negative", c.PCIeReplayPenalty)
 	case c.CQBackpressureDelay < 0:
 		return fmt.Errorf("platform: CQ backpressure delay %v must be non-negative", c.CQBackpressureDelay)
+	case c.MetricsWindow < 0:
+		return fmt.Errorf("platform: metrics window %v must be non-negative", c.MetricsWindow)
+	case c.MetricsMaxWindows < 0:
+		return fmt.Errorf("platform: metrics max windows %d must be non-negative", c.MetricsMaxWindows)
+	case c.MetricsSink != nil && c.MetricsWindow <= 0:
+		return fmt.Errorf("platform: metrics sink set but metrics window disabled")
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 
 	"repro/internal/platform"
@@ -71,7 +72,23 @@ type Report struct {
 	Build    Build    `json:"build"`
 	Platform Platform `json:"platform"`
 	Sweep    Sweep    `json:"sweep"`
-	Tables   []*Table `json:"tables"`
+	// Timeseries describes the flight-recorder configuration when the
+	// sweep ran with -metrics; nil (and omitted) otherwise, so reports
+	// without telemetry stay byte-identical to the pre-telemetry
+	// schema.
+	Timeseries *TimeseriesMeta `json:"timeseries,omitempty"`
+	Tables     []*Table        `json:"tables"`
+}
+
+// TimeseriesVersion is bumped on any incompatible change to the
+// per-cell TimeSeries layout below.
+const TimeseriesVersion = 1
+
+// TimeseriesMeta stamps the recorder parameters of a -metrics sweep.
+type TimeseriesMeta struct {
+	Version    int     `json:"version"`
+	WindowUs   float64 `json:"window_us"`
+	MaxWindows int     `json:"max_windows"`
 }
 
 // Build stamps the environment that produced the report. Wall-clock
@@ -160,12 +177,66 @@ type Table struct {
 
 // Series is one labeled curve: X[i] maps to Y[i]; Diags, when present,
 // is index-aligned with X and holds the per-cell run diagnostics (null
-// entries for cells measured without an engine).
+// entries for cells measured without an engine). Metrics, present only
+// in -metrics sweeps, is likewise index-aligned and carries each
+// cell's flight-recorder time series (null for cells that record none,
+// e.g. DRAM baselines).
 type Series struct {
-	Label string  `json:"label"`
-	X     []Float `json:"x"`
-	Y     []Float `json:"y"`
-	Diags []*Diag `json:"diags,omitempty"`
+	Label   string        `json:"label"`
+	X       []Float       `json:"x"`
+	Y       []Float       `json:"y"`
+	Diags   []*Diag       `json:"diags,omitempty"`
+	Metrics []*TimeSeries `json:"metrics,omitempty"`
+}
+
+// TimeSeries mirrors stats.TimeSeries in report units: microseconds
+// for window spans, nanoseconds for latencies. All per-window arrays
+// are index-aligned; window i covers [i*window_us, (i+1)*window_us)
+// except the last, whose actual span is last_span_us.
+type TimeSeries struct {
+	WindowUs   Float `json:"window_us"`
+	LastSpanUs Float `json:"last_span_us"`
+	Coalesced  int   `json:"coalesced,omitempty"`
+
+	Starts    []uint64 `json:"starts"`
+	Completes []uint64 `json:"completes"`
+	Retries   []uint64 `json:"retries"`
+	Timeouts  []uint64 `json:"timeouts"`
+	Abandoned []uint64 `json:"abandoned"`
+	Switches  []uint64 `json:"switches"`
+
+	P50Ns  []Float `json:"p50_ns"`
+	P99Ns  []Float `json:"p99_ns"`
+	P999Ns []Float `json:"p999_ns"`
+
+	LFBMean      []Float `json:"lfb_mean"`
+	LFBMax       []int   `json:"lfb_max"`
+	ChipMean     []Float `json:"chipq_mean"`
+	ChipMax      []int   `json:"chipq_max"`
+	SQMean       []Float `json:"sq_mean"`
+	SQMax        []int   `json:"sq_max"`
+	CQMean       []Float `json:"cq_mean"`
+	CQMax        []int   `json:"cq_max"`
+	RunnableMean []Float `json:"runnable_mean"`
+	RunnableMax  []int   `json:"runnable_max"`
+
+	TotalStarts    uint64 `json:"total_starts"`
+	TotalCompletes uint64 `json:"total_completes"`
+	TotalRetries   uint64 `json:"total_retries"`
+	TotalTimeouts  uint64 `json:"total_timeouts"`
+	TotalAbandoned uint64 `json:"total_abandoned"`
+	TotalSwitches  uint64 `json:"total_switches"`
+	TotalP50Ns     Float  `json:"total_p50_ns"`
+	TotalP99Ns     Float  `json:"total_p99_ns"`
+	TotalP999Ns    Float  `json:"total_p999_ns"`
+}
+
+// Windows returns the number of recorded windows.
+func (ts *TimeSeries) Windows() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.Starts)
 }
 
 // Diag is the per-cell slice of core.Diagnostics a report carries.
@@ -214,11 +285,69 @@ func FromTables(tables []*stats.Table) []*Table {
 					})
 				}
 			}
+			if s.HasMetrics() {
+				for _, ts := range s.Metrics {
+					rs.Metrics = append(rs.Metrics, fromTimeSeries(ts))
+				}
+			}
 			rt.Series = append(rt.Series, rs)
 		}
 		out = append(out, rt)
 	}
 	return out
+}
+
+// fromTimeSeries converts a stats.TimeSeries (picoseconds, raw floats)
+// to the report layout (microsecond window spans, Float cells). A nil
+// input stays nil — the cell recorded no telemetry.
+func fromTimeSeries(ts *stats.TimeSeries) *TimeSeries {
+	if ts == nil {
+		return nil
+	}
+	toFloats := func(vs []float64) []Float {
+		out := make([]Float, len(vs))
+		for i, v := range vs {
+			out[i] = Float(v)
+		}
+		return out
+	}
+	return &TimeSeries{
+		WindowUs:   Float(float64(ts.WindowPs) / 1e6),
+		LastSpanUs: Float(float64(ts.LastSpanPs) / 1e6),
+		Coalesced:  ts.Coalesced,
+
+		Starts:    append([]uint64(nil), ts.Starts...),
+		Completes: append([]uint64(nil), ts.Completes...),
+		Retries:   append([]uint64(nil), ts.Retries...),
+		Timeouts:  append([]uint64(nil), ts.Timeouts...),
+		Abandoned: append([]uint64(nil), ts.Abandoned...),
+		Switches:  append([]uint64(nil), ts.Switches...),
+
+		P50Ns:  toFloats(ts.P50Ns),
+		P99Ns:  toFloats(ts.P99Ns),
+		P999Ns: toFloats(ts.P999Ns),
+
+		LFBMean:      toFloats(ts.LFBMean),
+		LFBMax:       append([]int(nil), ts.LFBMax...),
+		ChipMean:     toFloats(ts.ChipMean),
+		ChipMax:      append([]int(nil), ts.ChipMax...),
+		SQMean:       toFloats(ts.SQMean),
+		SQMax:        append([]int(nil), ts.SQMax...),
+		CQMean:       toFloats(ts.CQMean),
+		CQMax:        append([]int(nil), ts.CQMax...),
+		RunnableMean: toFloats(ts.RunnableMean),
+		RunnableMax:  append([]int(nil), ts.RunnableMax...),
+
+		TotalStarts:    ts.TotalStarts,
+		TotalCompletes: ts.TotalCompletes,
+		TotalRetries:   ts.TotalRetries,
+		TotalTimeouts:  ts.TotalTimeouts,
+		TotalAbandoned: ts.TotalAbandoned,
+		TotalSwitches:  ts.TotalSwitches,
+		TotalP50Ns:     Float(ts.TotalP50Ns),
+		TotalP99Ns:     Float(ts.TotalP99Ns),
+		TotalP999Ns:    Float(ts.TotalP999Ns),
+	}
 }
 
 // Table returns the table with the given ID, or nil.
@@ -368,11 +497,71 @@ func (r *Report) Validate() error {
 				return fmt.Errorf("report: table %q series %q: %d diags for %d cells",
 					t.ID, s.Label, len(s.Diags), len(s.X))
 			}
+			if s.Metrics != nil && len(s.Metrics) != len(s.X) {
+				return fmt.Errorf("report: table %q series %q: %d metrics for %d cells",
+					t.ID, s.Label, len(s.Metrics), len(s.X))
+			}
+			for mi, ts := range s.Metrics {
+				if ts == nil {
+					continue
+				}
+				if r.Timeseries == nil {
+					return fmt.Errorf("report: table %q series %q cell %d has metrics but the report has no timeseries block",
+						t.ID, s.Label, mi)
+				}
+				if err := ts.validate(); err != nil {
+					return fmt.Errorf("report: table %q series %q cell %d: %v",
+						t.ID, s.Label, mi, err)
+				}
+			}
 			for i, x := range s.X {
 				if x.IsNaN() {
 					return fmt.Errorf("report: table %q series %q: x[%d] is null", t.ID, s.Label, i)
 				}
 			}
+		}
+	}
+	if r.Timeseries != nil && r.Timeseries.Version != TimeseriesVersion {
+		return fmt.Errorf("report: timeseries version %d, want %d",
+			r.Timeseries.Version, TimeseriesVersion)
+	}
+	return nil
+}
+
+// validate checks the internal shape of one flight-recorder series:
+// positive window span, a last span no longer than the window, and all
+// per-window arrays aligned with the starts array.
+func (ts *TimeSeries) validate() error {
+	if ts.WindowUs <= 0 {
+		return fmt.Errorf("timeseries: window_us %v not positive", float64(ts.WindowUs))
+	}
+	if ts.LastSpanUs <= 0 || float64(ts.LastSpanUs) > float64(ts.WindowUs) {
+		return fmt.Errorf("timeseries: last_span_us %v outside (0, %v]",
+			float64(ts.LastSpanUs), float64(ts.WindowUs))
+	}
+	n := len(ts.Starts)
+	if n == 0 {
+		return fmt.Errorf("timeseries: no windows")
+	}
+	counts := map[string]int{
+		"completes": len(ts.Completes), "retries": len(ts.Retries),
+		"timeouts": len(ts.Timeouts), "abandoned": len(ts.Abandoned),
+		"switches": len(ts.Switches),
+		"p50_ns":   len(ts.P50Ns), "p99_ns": len(ts.P99Ns), "p999_ns": len(ts.P999Ns),
+		"lfb_mean": len(ts.LFBMean), "lfb_max": len(ts.LFBMax),
+		"chipq_mean": len(ts.ChipMean), "chipq_max": len(ts.ChipMax),
+		"sq_mean": len(ts.SQMean), "sq_max": len(ts.SQMax),
+		"cq_mean": len(ts.CQMean), "cq_max": len(ts.CQMax),
+		"runnable_mean": len(ts.RunnableMean), "runnable_max": len(ts.RunnableMax),
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if counts[name] != n {
+			return fmt.Errorf("timeseries: %d %s windows for %d starts windows", counts[name], name, n)
 		}
 	}
 	return nil

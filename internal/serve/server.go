@@ -39,6 +39,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/resultstore"
+	"repro/internal/sim"
 )
 
 // RunRequest is the POST /v1/runs body: a suite selector plus the
@@ -68,6 +70,15 @@ type RunRequest struct {
 	// from the moment it starts running; a job that exceeds it fails
 	// at the next cell boundary.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Metrics enables the flight recorder for every measured run: the
+	// report gains a windowed time series per cell, and sealed windows
+	// stream live from GET /v1/runs/{id}/metrics while the job runs.
+	// Opt-in, so a plain request's report stays byte-identical to the
+	// killerusec CLI's.
+	Metrics bool `json:"metrics,omitempty"`
+	// MetricsWindowUs overrides the recorder window span in simulated
+	// microseconds (default 10). Requires Metrics.
+	MetricsWindowUs float64 `json:"metrics_window_us,omitempty"`
 }
 
 // suite materializes the request's experiment suite.
@@ -99,8 +110,25 @@ func (r RunRequest) suite() (experiments.Suite, error) {
 	if r.TimeoutSeconds < 0 || math.IsNaN(r.TimeoutSeconds) || math.IsInf(r.TimeoutSeconds, 0) {
 		return s, fmt.Errorf("timeout_seconds %v must be a non-negative finite number", r.TimeoutSeconds)
 	}
+	if r.MetricsWindowUs < 0 || math.IsNaN(r.MetricsWindowUs) || math.IsInf(r.MetricsWindowUs, 0) {
+		return s, fmt.Errorf("metrics_window_us %v must be a non-negative finite number", r.MetricsWindowUs)
+	}
+	if r.MetricsWindowUs > 0 && !r.Metrics {
+		return s, fmt.Errorf("metrics_window_us set but metrics not enabled")
+	}
+	if r.Metrics {
+		windowUs := r.MetricsWindowUs
+		if windowUs == 0 {
+			windowUs = defaultMetricsWindowUs
+		}
+		s.Base.MetricsWindow = sim.FromNanoseconds(windowUs * 1e3)
+	}
 	return s, nil
 }
+
+// defaultMetricsWindowUs is the flight-recorder window span when a
+// metrics-enabled request does not choose one.
+const defaultMetricsWindowUs = 10
 
 // plan resolves the request's experiment ids against the suite; it is
 // also the submit-time validation that every id exists.
@@ -145,6 +173,10 @@ type job struct {
 	// so cancellation takes effect at the next cell boundary.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// hub fans flight-recorder windows out to metrics-stream
+	// subscribers; nil unless the request enabled metrics.
+	hub *metricsHub
 
 	mu              sync.Mutex
 	state           JobState
@@ -329,10 +361,14 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newJob allocates a job with its cancellation context.
+// newJob allocates a job with its cancellation context, and its
+// metrics hub when the request asked for telemetry.
 func newJob(id string, req RunRequest) *job {
 	j := &job{id: id, req: req, state: StateQueued}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
+	if req.Metrics {
+		j.hub = newMetricsHub()
+	}
 	return j
 }
 
@@ -393,6 +429,7 @@ func (s *Server) restore(entries []Entry) []*job {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j.state.terminal() {
+			j.hub.Close(j.state)
 			continue
 		}
 		if j.cancelRequested {
@@ -400,6 +437,7 @@ func (s *Server) restore(entries []Entry) []*job {
 			// it now instead of re-running work nobody wants.
 			j.state = StateCancelled
 			j.finished = s.now()
+			j.hub.Close(StateCancelled)
 			s.appendJournal(Entry{T: recDone, ID: j.id, At: j.finished, State: StateCancelled})
 			continue
 		}
@@ -526,6 +564,7 @@ func (s *Server) executeJob(j *job) {
 		j.cellsCached = (stats1.Hits - stats0.Hits) + (stats1.DiskHits - stats0.DiskHits)
 		j.finished = now
 		j.mu.Unlock()
+		j.hub.Close(state)
 		s.appendJournal(Entry{T: recDone, ID: j.id, At: now, State: state, Err: errMsg, SHA: sha})
 	}
 	defer func() {
@@ -552,6 +591,13 @@ func (s *Server) executeJob(j *job) {
 	exec = experiments.NewExecCtx(ctx, s.parallel, s.store)
 	defer exec.Close()
 	suite.Exec = exec
+	if j.hub != nil {
+		// Live telemetry: every computed cell's recorder publishes its
+		// sealed windows into the job's hub. Cells answered from cache
+		// do not re-simulate, so they stream nothing — the report still
+		// carries their full series.
+		suite.Base.MetricsSink = j.hub
+	}
 	plan, err := j.req.plan(suite)
 	if err != nil {
 		finish(StateFailed, err.Error(), nil)
@@ -607,6 +653,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/runs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -727,6 +774,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	j.cancel()
 	if state == StateQueued {
+		j.hub.Close(StateCancelled)
 		s.appendJournal(Entry{T: recDone, ID: j.id, At: s.now(), State: StateCancelled, Err: "cancelled by client"})
 	} else {
 		s.appendJournal(Entry{T: recCancel, ID: j.id, At: s.now()})
@@ -791,11 +839,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// handleMetrics serves the Prometheus text endpoint. Lines are
+// emitted in sorted order so two scrapes of an idle server are
+// byte-identical — scrape diffing and text-based alert tests can rely
+// on it. Jobs with a metrics hub add per-job labeled gauges for their
+// stream: windows published, live subscribers, records dropped to
+// slow consumers, and the last sealed window's p99.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	counts := map[JobState]int{}
 	var dedup uint64
 	var distinct int
+	var lines []string
 	for _, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
@@ -803,6 +858,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		dedup += j.cells.Dedup
 		distinct += j.cells.Cells
 		j.mu.Unlock()
+		if j.hub != nil {
+			windows, subscribers, dropped, lastP99 := j.hub.stats()
+			lines = append(lines,
+				fmt.Sprintf("kurecd_job_stream_windows_total{job=%q} %d", id, windows),
+				fmt.Sprintf("kurecd_job_stream_subscribers{job=%q} %d", id, subscribers),
+				fmt.Sprintf("kurecd_job_stream_dropped_total{job=%q} %d", id, dropped),
+				fmt.Sprintf("kurecd_job_last_p99_ns{job=%q} %g", id, lastP99),
+			)
+		}
 	}
 	depth := s.queued
 	capacity := s.depth
@@ -818,19 +882,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	cs := s.store.Stats()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
-		fmt.Fprintf(w, "kurecd_jobs{state=%q} %d\n", st, counts[st])
+		lines = append(lines, fmt.Sprintf("kurecd_jobs{state=%q} %d", st, counts[st]))
 	}
-	fmt.Fprintf(w, "kurecd_queue_depth %d\n", depth)
-	fmt.Fprintf(w, "kurecd_queue_capacity %d\n", capacity)
-	fmt.Fprintf(w, "kurecd_draining %d\n", draining)
-	fmt.Fprintf(w, "kurecd_ready %d\n", ready)
-	fmt.Fprintf(w, "kurecd_recovered_jobs %d\n", recovered)
-	fmt.Fprintf(w, "kurecd_cells_distinct_total %d\n", distinct)
-	fmt.Fprintf(w, "kurecd_cells_deduped_total %d\n", dedup)
-	fmt.Fprintf(w, "kurecd_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "kurecd_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "kurecd_cache_disk_hits_total %d\n", cs.DiskHits)
-	fmt.Fprintf(w, "kurecd_cache_misses_total %d\n", cs.Misses)
+	lines = append(lines,
+		fmt.Sprintf("kurecd_queue_depth %d", depth),
+		fmt.Sprintf("kurecd_queue_capacity %d", capacity),
+		fmt.Sprintf("kurecd_draining %d", draining),
+		fmt.Sprintf("kurecd_ready %d", ready),
+		fmt.Sprintf("kurecd_recovered_jobs %d", recovered),
+		fmt.Sprintf("kurecd_cells_distinct_total %d", distinct),
+		fmt.Sprintf("kurecd_cells_deduped_total %d", dedup),
+		fmt.Sprintf("kurecd_cache_entries %d", cs.Entries),
+		fmt.Sprintf("kurecd_cache_hits_total %d", cs.Hits),
+		fmt.Sprintf("kurecd_cache_disk_hits_total %d", cs.DiskHits),
+		fmt.Sprintf("kurecd_cache_misses_total %d", cs.Misses),
+	)
+	sort.Strings(lines)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
 }

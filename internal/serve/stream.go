@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// StreamWindow is one record of the GET /v1/runs/{id}/metrics stream:
+// either a sealed flight-recorder window ("window") or the final
+// record ("done", carrying the job's terminal state). Seq is the hub's
+// global publish sequence — contiguous per job, so a consumer can
+// detect records it lost to the bounded buffer.
+type StreamWindow struct {
+	Type string `json:"type"` // "window" or "done"
+	Seq  uint64 `json:"seq"`
+
+	// window records only.
+	Run     string  `json:"run,omitempty"`   // run label, e.g. "prefetch lat=1us threads=10"
+	Index   int     `json:"index,omitempty"` // per-run window index
+	StartUs float64 `json:"start_us,omitempty"`
+	SpanUs  float64 `json:"span_us,omitempty"`
+
+	Starts    uint64 `json:"starts,omitempty"`
+	Completes uint64 `json:"completes,omitempty"`
+	Retries   uint64 `json:"retries,omitempty"`
+	Timeouts  uint64 `json:"timeouts,omitempty"`
+	Abandoned uint64 `json:"abandoned,omitempty"`
+	Switches  uint64 `json:"switches,omitempty"`
+
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+
+	LFBMean      float64 `json:"lfb_mean,omitempty"`
+	ChipMean     float64 `json:"chipq_mean,omitempty"`
+	SQMean       float64 `json:"sq_mean,omitempty"`
+	CQMean       float64 `json:"cq_mean,omitempty"`
+	RunnableMean float64 `json:"runnable_mean,omitempty"`
+	LFBMax       int     `json:"lfb_max,omitempty"`
+	ChipMax      int     `json:"chipq_max,omitempty"`
+	SQMax        int     `json:"sq_max,omitempty"`
+	CQMax        int     `json:"cq_max,omitempty"`
+	RunnableMax  int     `json:"runnable_max,omitempty"`
+
+	// done records only.
+	State JobState `json:"state,omitempty"`
+}
+
+// streamHistory bounds the replay buffer a late subscriber receives;
+// older windows are evicted oldest-first.
+const streamHistory = 512
+
+// subQueueCap bounds each subscriber's pending queue. A consumer that
+// reads slower than the simulator seals windows loses the oldest
+// pending records (counted in dropped) — the publisher never blocks,
+// so a stalled TCP connection cannot stall the sweep.
+const subQueueCap = 256
+
+// subscriber is one attached metrics-stream consumer.
+type subscriber struct {
+	mu      sync.Mutex
+	queue   []StreamWindow // pending records, oldest first
+	dropped uint64         // records evicted from queue
+	signal  chan struct{}  // capacity 1: "queue or done changed"
+}
+
+// notify wakes the subscriber's reader without blocking.
+func (c *subscriber) notify() {
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+// push enqueues one record, evicting the oldest when full.
+func (c *subscriber) push(ev StreamWindow) {
+	c.mu.Lock()
+	if len(c.queue) == subQueueCap {
+		c.queue = c.queue[1:]
+		c.dropped++
+	}
+	c.queue = append(c.queue, ev)
+	c.mu.Unlock()
+	c.notify()
+}
+
+// take removes and returns all pending records.
+func (c *subscriber) take() []StreamWindow {
+	c.mu.Lock()
+	out := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	return out
+}
+
+// metricsHub fans one job's flight-recorder windows out to any number
+// of HTTP stream subscribers. It implements telemetry.Sink; the
+// simulation goroutines call PublishWindow synchronously at window
+// boundaries, so every method is fast, bounded, and non-blocking.
+// Under a parallel executor multiple cells publish concurrently;
+// records interleave across runs but stay self-describing (Run +
+// Index), and Seq orders them globally.
+type metricsHub struct {
+	mu      sync.Mutex
+	history []StreamWindow // ring of the most recent records
+	subs    map[*subscriber]struct{}
+	seq     uint64
+	windows uint64  // windows ever published, for /metrics
+	dropped uint64  // records dropped by departed subscribers
+	lastP99 float64 // most recent window's p99, for /metrics
+	done    bool
+	final   JobState
+}
+
+func newMetricsHub() *metricsHub {
+	return &metricsHub{subs: make(map[*subscriber]struct{})}
+}
+
+// PublishWindow implements telemetry.Sink.
+func (h *metricsHub) PublishWindow(ev telemetry.WindowEvent) {
+	sw := StreamWindow{
+		Type:    "window",
+		Run:     ev.Label,
+		Index:   ev.Index,
+		StartUs: float64(ev.StartPs) / 1e6,
+		SpanUs:  float64(ev.SpanPs) / 1e6,
+
+		Starts:    ev.Starts,
+		Completes: ev.Completes,
+		Retries:   ev.Retries,
+		Timeouts:  ev.Timeouts,
+		Abandoned: ev.Abandoned,
+		Switches:  ev.Switches,
+
+		P50Ns:  ev.P50Ns,
+		P99Ns:  ev.P99Ns,
+		P999Ns: ev.P999Ns,
+
+		LFBMean:      ev.OccMean[telemetry.GaugeLFB],
+		ChipMean:     ev.OccMean[telemetry.GaugeChip],
+		SQMean:       ev.OccMean[telemetry.GaugeSQ],
+		CQMean:       ev.OccMean[telemetry.GaugeCQ],
+		RunnableMean: ev.OccMean[telemetry.GaugeRunnable],
+		LFBMax:       ev.OccMax[telemetry.GaugeLFB],
+		ChipMax:      ev.OccMax[telemetry.GaugeChip],
+		SQMax:        ev.OccMax[telemetry.GaugeSQ],
+		CQMax:        ev.OccMax[telemetry.GaugeCQ],
+		RunnableMax:  ev.OccMax[telemetry.GaugeRunnable],
+	}
+
+	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return
+	}
+	sw.Seq = h.seq
+	h.seq++
+	h.windows++
+	h.lastP99 = ev.P99Ns
+	if len(h.history) == streamHistory {
+		copy(h.history, h.history[1:])
+		h.history = h.history[:streamHistory-1]
+	}
+	h.history = append(h.history, sw)
+	subs := make([]*subscriber, 0, len(h.subs))
+	for c := range h.subs {
+		subs = append(subs, c)
+	}
+	h.mu.Unlock()
+
+	for _, c := range subs {
+		c.push(sw)
+	}
+}
+
+// Close marks the stream finished with the job's terminal state and
+// wakes every subscriber so their streams end. Idempotent: only the
+// first terminal state wins (a cancel that races job completion).
+func (h *metricsHub) Close(state JobState) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.done {
+		h.mu.Unlock()
+		return
+	}
+	h.done = true
+	h.final = state
+	subs := make([]*subscriber, 0, len(h.subs))
+	for c := range h.subs {
+		subs = append(subs, c)
+	}
+	h.mu.Unlock()
+	for _, c := range subs {
+		c.notify()
+	}
+}
+
+// subscribe attaches a consumer, returning it together with a snapshot
+// of the history so a mid-run (or post-run) subscriber starts with
+// everything the ring still holds.
+func (h *metricsHub) subscribe() (*subscriber, []StreamWindow) {
+	c := &subscriber{signal: make(chan struct{}, 1)}
+	h.mu.Lock()
+	snapshot := append([]StreamWindow(nil), h.history...)
+	h.subs[c] = struct{}{}
+	h.mu.Unlock()
+	return c, snapshot
+}
+
+// unsubscribe detaches a consumer, folding its drop count into the
+// hub total so /metrics keeps counting after the connection closes.
+func (h *metricsHub) unsubscribe(c *subscriber) {
+	c.mu.Lock()
+	dropped := c.dropped
+	c.dropped = 0
+	c.mu.Unlock()
+	h.mu.Lock()
+	delete(h.subs, c)
+	h.dropped += dropped
+	h.mu.Unlock()
+}
+
+// state reports whether the stream has ended and with which job
+// state, plus the next publish sequence (== windows ever published).
+func (h *metricsHub) state() (done bool, final JobState, seq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done, h.final, h.seq
+}
+
+// handleJobMetrics streams a job's flight-recorder windows. The
+// default framing is NDJSON (one StreamWindow per line); a client
+// accepting text/event-stream gets SSE framing instead. A subscriber
+// first receives the history the hub still holds (so mid-run — or
+// even post-run — attachment sees the past), then live windows as
+// runs seal them, and finally one "done" record carrying the job's
+// terminal state. Slow consumers lose oldest-first from a bounded
+// queue rather than ever stalling the sweep; gaps are visible as
+// non-contiguous seq values.
+func (s *Server) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	if j.hub == nil {
+		jsonError(w, http.StatusConflict, "job %s has no telemetry (submit with \"metrics\": true)", j.id)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: a subscriber to a job that has not
+		// sealed a window yet must still see the stream open.
+		flusher.Flush()
+	}
+
+	sub, history := j.hub.subscribe()
+	defer j.hub.unsubscribe(sub)
+
+	write := func(evs []StreamWindow) error {
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			if sse {
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b); err != nil {
+					return err
+				}
+			} else {
+				if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+					return err
+				}
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	if write(history) != nil {
+		return
+	}
+	for {
+		evs := sub.take()
+		if len(evs) > 0 {
+			if write(evs) != nil {
+				return
+			}
+			continue // drain fully before checking for the end
+		}
+		if done, final, seq := j.hub.state(); done {
+			write([]StreamWindow{{Type: "done", Seq: seq, State: final}})
+			return
+		}
+		select {
+		case <-sub.signal:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// stats snapshots the hub's counters for the Prometheus endpoint.
+func (h *metricsHub) stats() (windows uint64, subscribers int, dropped uint64, lastP99 float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	windows = h.windows
+	subscribers = len(h.subs)
+	lastP99 = h.lastP99
+	dropped = h.dropped
+	for c := range h.subs {
+		c.mu.Lock()
+		dropped += c.dropped
+		c.mu.Unlock()
+	}
+	return
+}

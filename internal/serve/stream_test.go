@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// winEv builds a distinguishable telemetry window for hub tests.
+func winEv(i int) telemetry.WindowEvent {
+	return telemetry.WindowEvent{
+		Label:   "run",
+		Index:   i,
+		StartPs: int64(i) * 10e6,
+		SpanPs:  10e6,
+		Starts:  uint64(i + 1),
+		P99Ns:   float64(1000 + i),
+	}
+}
+
+// TestHubSlowConsumerDropsOldest: a subscriber that never reads loses
+// oldest-first from a bounded queue; the publisher never blocks and
+// the drops are counted.
+func TestHubSlowConsumerDropsOldest(t *testing.T) {
+	h := newMetricsHub()
+	sub, history := h.subscribe()
+	if len(history) != 0 {
+		t.Fatalf("fresh hub has %d history records", len(history))
+	}
+	const extra = 50
+	done := make(chan struct{})
+	go func() { // must complete even though nobody drains the queue
+		for i := 0; i < subQueueCap+extra; i++ {
+			h.PublishWindow(winEv(i))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a slow consumer")
+	}
+
+	evs := sub.take()
+	if len(evs) != subQueueCap {
+		t.Fatalf("queue holds %d records, want the bounded %d", len(evs), subQueueCap)
+	}
+	if evs[0].Seq != extra {
+		t.Errorf("first surviving record seq = %d, want %d (oldest dropped)", evs[0].Seq, extra)
+	}
+	if evs[len(evs)-1].Seq != uint64(subQueueCap+extra-1) {
+		t.Errorf("newest record seq = %d, want the last published", evs[len(evs)-1].Seq)
+	}
+	sub.mu.Lock()
+	dropped := sub.dropped
+	sub.mu.Unlock()
+	if dropped != extra {
+		t.Errorf("dropped = %d, want %d", dropped, extra)
+	}
+}
+
+// TestHubHistoryRingBounded: a late subscriber receives at most
+// streamHistory windows, the most recent ones.
+func TestHubHistoryRingBounded(t *testing.T) {
+	h := newMetricsHub()
+	const extra = 25
+	for i := 0; i < streamHistory+extra; i++ {
+		h.PublishWindow(winEv(i))
+	}
+	_, history := h.subscribe()
+	if len(history) != streamHistory {
+		t.Fatalf("history = %d records, want %d", len(history), streamHistory)
+	}
+	if history[0].Seq != extra {
+		t.Errorf("history starts at seq %d, want %d", history[0].Seq, extra)
+	}
+}
+
+func TestHubCloseIdempotentAndNilSafe(t *testing.T) {
+	var nilHub *metricsHub
+	nilHub.Close(StateDone) // must not panic
+	h := newMetricsHub()
+	h.Close(StateCancelled)
+	h.Close(StateDone) // first terminal state wins
+	if done, final, _ := h.state(); !done || final != StateCancelled {
+		t.Errorf("state = %v/%s, want done/cancelled", done, final)
+	}
+	h.PublishWindow(winEv(0)) // post-close publish is dropped
+	if windows, _, _, _ := h.stats(); windows != 0 {
+		t.Error("publish after Close was counted")
+	}
+}
+
+// streamLines reads NDJSON records from a metrics stream until n
+// records arrive or the stream ends.
+func streamLines(t *testing.T, body io.Reader, n int) []StreamWindow {
+	t.Helper()
+	var out []StreamWindow
+	sc := bufio.NewScanner(body)
+	for len(out) < n && sc.Scan() {
+		var ev StreamWindow
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestStreamMidRunSubscribe drives a stubbed job: a subscriber that
+// attaches mid-run first receives the already-sealed history, then
+// live windows, then the done record.
+func TestStreamMidRunSubscribe(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstHalf := make(chan struct{})
+	release := make(chan struct{})
+	srv.run = func(j *job) {
+		j.mu.Lock()
+		j.state = StateRunning
+		j.started = srv.now()
+		j.mu.Unlock()
+		for i := 0; i < 3; i++ {
+			j.hub.PublishWindow(winEv(i))
+		}
+		close(firstHalf)
+		<-release
+		for i := 3; i < 6; i++ {
+			j.hub.PublishWindow(winEv(i))
+		}
+		j.mu.Lock()
+		j.state = StateDone
+		j.finished = srv.now()
+		j.report = []byte("{}")
+		j.mu.Unlock()
+		j.hub.Close(StateDone)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, RunRequest{Suite: "quick", Experiments: []string{"2"}, Metrics: true})
+	id := decode[map[string]string](t, resp)["id"]
+	<-firstHalf
+
+	sresp, err := http.Get(ts.URL + "/v1/runs/" + id + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want NDJSON", ct)
+	}
+
+	past := streamLines(t, sresp.Body, 3)
+	for i, ev := range past {
+		if ev.Type != "window" || ev.Seq != uint64(i) {
+			t.Errorf("history record %d = %+v, want window seq %d", i, ev, i)
+		}
+	}
+	close(release)
+	rest := streamLines(t, sresp.Body, 4)
+	if len(rest) != 4 {
+		t.Fatalf("got %d records after release, want 3 windows + done", len(rest))
+	}
+	for i, ev := range rest[:3] {
+		if ev.Seq != uint64(3+i) {
+			t.Errorf("live record %d has seq %d, want %d", i, ev.Seq, 3+i)
+		}
+	}
+	if fin := rest[3]; fin.Type != "done" || fin.State != StateDone {
+		t.Errorf("final record = %+v, want done/done", fin)
+	}
+}
+
+// TestStreamCloseOnCancel: cancelling a queued job ends its metrics
+// stream with a cancelled done record.
+func TestStreamCloseOnCancel(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv.run = func(j *job) { <-block } // park the runner on the first job
+	defer close(block)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post(t, ts, RunRequest{Suite: "quick", Experiments: []string{"2"}}).Body.Close()
+	resp := post(t, ts, RunRequest{Suite: "quick", Experiments: []string{"2"}, Metrics: true})
+	id := decode[map[string]string](t, resp)["id"]
+
+	sresp, err := http.Get(ts.URL + "/v1/runs/" + id + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	recs := streamLines(t, sresp.Body, 1)
+	if len(recs) != 1 || recs[0].Type != "done" || recs[0].State != StateCancelled {
+		t.Fatalf("stream after cancel = %+v, want one done/cancelled record", recs)
+	}
+}
+
+// TestStreamEndpointErrors: unknown jobs answer 404 and jobs without
+// telemetry answer 409.
+func TestStreamEndpointErrors(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	srv.run = func(j *job) { <-block }
+	defer close(block)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/runs/job-9999/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job stream = %d, want 404", resp.StatusCode)
+	}
+
+	sub := post(t, ts, RunRequest{Suite: "quick", Experiments: []string{"2"}})
+	id := decode[map[string]string](t, sub)["id"]
+	resp, err = http.Get(ts.URL + "/v1/runs/" + id + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("no-telemetry job stream = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestMetricsSortedAndScrapeStable is the Prometheus determinism
+// gate: lines come out sorted, and two consecutive scrapes of an idle
+// server are byte-identical — including the per-job stream gauges.
+func TestMetricsSortedAndScrapeStable(t *testing.T) {
+	srv, err := New(Config{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.run = func(j *job) {
+		j.mu.Lock()
+		j.state = StateRunning
+		j.started = srv.now()
+		j.mu.Unlock()
+		for i := 0; i < 7; i++ {
+			j.hub.PublishWindow(winEv(i))
+		}
+		j.mu.Lock()
+		j.state = StateDone
+		j.finished = srv.now()
+		j.report = []byte("{}")
+		j.mu.Unlock()
+		j.hub.Close(StateDone)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, RunRequest{Suite: "quick", Experiments: []string{"2"}, Metrics: true})
+	id := decode[map[string]string](t, resp)["id"]
+	pollDone(t, ts, id)
+
+	scrape := func() string {
+		r, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := scrape(), scrape()
+	if !bytes.Equal([]byte(a), []byte(b)) {
+		t.Errorf("consecutive scrapes differ:\n--- first\n%s--- second\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("metrics lines are not sorted:\n%s", a)
+	}
+	for _, want := range []string{
+		`kurecd_job_stream_windows_total{job="` + id + `"} 7`,
+		`kurecd_job_stream_subscribers{job="` + id + `"} 0`,
+		`kurecd_job_stream_dropped_total{job="` + id + `"} 0`,
+		`kurecd_job_last_p99_ns{job="` + id + `"} 1006`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("metrics missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestServedMetricsReportMatchesCLI extends the served-vs-direct
+// byte-identity guarantee to metrics-enabled requests: the job's
+// report — including every time series — must equal what the
+// experiments package produces for the same suite.
+func TestServedMetricsReportMatchesCLI(t *testing.T) {
+	srv, err := New(Config{Parallel: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := tinyRequest()
+	req.Metrics = true
+	resp := post(t, ts, req)
+	id := decode[map[string]string](t, resp)["id"]
+	st := pollDone(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (error %q)", st.State, st.Error)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(got, []byte(`"timeseries"`)) {
+		t.Fatal("served metrics report has no timeseries section")
+	}
+
+	suite, err := req.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := req.plan(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := suite.Report(experiments.RunPlan(plan, nil)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("served metrics report differs from direct report (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestMetricsRequestValidation: a window override without metrics is
+// rejected at submit time.
+func TestMetricsRequestValidation(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, RunRequest{Suite: "quick", MetricsWindowUs: 5})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("window-without-metrics = %d, want 400", resp.StatusCode)
+	}
+	resp = post(t, ts, RunRequest{Suite: "quick", Metrics: true, MetricsWindowUs: -1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative window = %d, want 400", resp.StatusCode)
+	}
+}

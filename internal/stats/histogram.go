@@ -108,6 +108,37 @@ func (h *Histogram) Buckets() int {
 	return len(h.counts)
 }
 
+// Merge adds every sample of o into h, bucket-wise. Both histograms
+// use the package's single closed-form bucketing scheme, so the only
+// structural difference two instances can have is the allocated bucket
+// range; the guard below grows h as needed and a nil or empty o is a
+// no-op. Merge is the window→run rollup primitive of the telemetry
+// recorder: per-window histograms merge into coalesced windows and
+// into the whole-run percentile summary without re-recording samples.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil {
+		panic("stats: Merge into nil histogram")
+	}
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+}
+
 // Quantile returns the q-quantile sample value using the same
 // nearest-rank convention as the exact-slice percentile it replaced
 // (rank = floor(q*n), clamped to [1, n]). It returns 0 when empty. The

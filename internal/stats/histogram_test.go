@@ -197,3 +197,105 @@ func TestHistogramNegativeClamped(t *testing.T) {
 		t.Errorf("negative samples should clamp to 0: min=%d p50=%d", h.Min(), h.Quantile(0.5))
 	}
 }
+
+// TestHistogramMerge covers the windowed-rollup path the telemetry
+// recorder relies on: merging must be equivalent to recording every
+// sample into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	a, b, ref := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(10_000_000))
+		a.Record(v)
+		ref.Record(v)
+	}
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(2_000_000_000))
+		b.Record(v)
+		ref.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != ref.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), ref.Count())
+	}
+	if a.Min() != ref.Min() || a.Max() != ref.Max() {
+		t.Errorf("merged min/max = %d/%d, want %d/%d", a.Min(), a.Max(), ref.Min(), ref.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), ref.Quantile(q); got != want {
+			t.Errorf("merged Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	// Empty or nil source: a no-op that must not disturb min/max.
+	h := NewHistogram()
+	h.Record(500)
+	h.Merge(NewHistogram())
+	h.Merge(nil)
+	if h.Count() != 1 || h.Min() != 500 || h.Max() != 500 {
+		t.Errorf("merge of empty changed state: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Empty destination: adopts the source wholesale, including min/max.
+	e := NewHistogram()
+	e.Merge(h)
+	if e.Count() != 1 || e.Min() != 500 || e.Max() != 500 || e.Quantile(0.5) != 500 {
+		t.Errorf("merge into empty: count=%d min=%d max=%d p50=%d",
+			e.Count(), e.Min(), e.Max(), e.Quantile(0.5))
+	}
+	// And the source is untouched.
+	if h.Count() != 1 || h.Quantile(1) != 500 {
+		t.Error("Merge mutated its argument")
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	// Ranges that do not overlap: min comes from one side, max from the
+	// other, regardless of merge direction.
+	lo, hi := NewHistogram(), NewHistogram()
+	for v := int64(10); v < 20; v++ {
+		lo.Record(v)
+	}
+	for v := int64(1 << 30); v < 1<<30+10; v++ {
+		hi.Record(v)
+	}
+	lo.Merge(hi)
+	if lo.Min() != 10 || lo.Max() != (1<<30)+9 {
+		t.Errorf("lo<-hi min/max = %d/%d", lo.Min(), lo.Max())
+	}
+	if lo.Count() != 20 {
+		t.Errorf("lo<-hi count = %d, want 20", lo.Count())
+	}
+	// The other direction: the destination's counts slice must grow.
+	lo2, hi2 := NewHistogram(), NewHistogram()
+	lo2.Record(10)
+	hi2.Record(1 << 30)
+	hi2.Merge(lo2)
+	if hi2.Min() != 10 || hi2.Max() != 1<<30 || hi2.Count() != 2 {
+		t.Errorf("hi<-lo min/max/count = %d/%d/%d", hi2.Min(), hi2.Max(), hi2.Count())
+	}
+}
+
+func TestHistogramMergeSingleBucket(t *testing.T) {
+	// Both sides hold one identical value: one bucket, counts add.
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(42)
+	b.Record(42)
+	b.Record(42)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min() != 42 || a.Max() != 42 || a.Quantile(0.5) != 42 {
+		t.Errorf("single-bucket merge: count=%d min=%d max=%d p50=%d",
+			a.Count(), a.Min(), a.Max(), a.Quantile(0.5))
+	}
+}
+
+func TestHistogramMergeIntoNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge into a nil histogram must panic")
+		}
+	}()
+	var h *Histogram
+	h.Merge(NewHistogram())
+}

@@ -95,12 +95,15 @@ type RunDiag struct {
 // Series is one labeled curve in a figure: y-values sampled at x-values.
 // Diags, when a point was added with AddRun, holds the per-point run
 // diagnostics; it is index-aligned with X/Y and nil-padded for points
-// added without diagnostics.
+// added without diagnostics. Metrics likewise holds the per-point
+// flight-recorder time series when the run recorded one, attached with
+// AttachMetrics after the point is added.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
-	Diags []*RunDiag
+	Label   string
+	X       []float64
+	Y       []float64
+	Diags   []*RunDiag
+	Metrics []*TimeSeries
 }
 
 // Add appends a point without diagnostics.
@@ -108,6 +111,7 @@ func (s *Series) Add(x, y float64) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
 	s.Diags = append(s.Diags, nil)
+	s.Metrics = append(s.Metrics, nil)
 }
 
 // AddRun appends a measured point together with its run diagnostics.
@@ -115,12 +119,34 @@ func (s *Series) AddRun(x, y float64, d RunDiag) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
 	s.Diags = append(s.Diags, &d)
+	s.Metrics = append(s.Metrics, nil)
+}
+
+// AttachMetrics attaches a flight-recorder series to the most recently
+// added point; a nil ts is a no-op, so callers can pass the run's
+// Series field unconditionally.
+func (s *Series) AttachMetrics(ts *TimeSeries) {
+	if ts == nil || len(s.Metrics) == 0 {
+		return
+	}
+	s.Metrics[len(s.Metrics)-1] = ts
 }
 
 // HasDiags reports whether any point carries run diagnostics.
 func (s *Series) HasDiags() bool {
 	for _, d := range s.Diags {
 		if d != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMetrics reports whether any point carries a flight-recorder
+// series.
+func (s *Series) HasMetrics() bool {
+	for _, ts := range s.Metrics {
+		if ts != nil {
 			return true
 		}
 	}

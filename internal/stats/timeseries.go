@@ -1,0 +1,116 @@
+package stats
+
+import "fmt"
+
+// TimeSeries is the flight-recorder output for one measured run: a
+// bounded sequence of contiguous sim-time windows starting at t=0, each
+// summarizing throughput, recovery activity, queue occupancy, and
+// latency percentiles for its span. It is a pure value type (plain
+// exported fields, no histograms, gob- and JSON-friendly) so it can
+// ride inside core.Result through the result cache; the recording
+// machinery that produces it lives in internal/telemetry.
+//
+// All per-window slices are index-aligned. Window i covers
+// [i*WindowPs, (i+1)*WindowPs) except the last, whose actual span is
+// LastSpanPs (the run rarely ends exactly on a window boundary). When
+// the recorder's ring filled up, adjacent windows were pair-wise
+// coalesced and WindowPs doubled — Coalesced counts the doublings —
+// so the series always covers the whole run with bounded storage.
+type TimeSeries struct {
+	WindowPs   int64 // final window span, picoseconds
+	LastSpanPs int64 // actual span of the final (possibly partial) window
+	Coalesced  int   // number of times the ring doubled its window
+
+	// Per-window event counts.
+	Starts    []uint64
+	Completes []uint64
+	Retries   []uint64
+	Timeouts  []uint64
+	Abandoned []uint64
+	Switches  []uint64
+
+	// Per-window latency percentiles, nanoseconds (0 when the window
+	// completed no accesses).
+	P50Ns  []float64
+	P99Ns  []float64
+	P999Ns []float64
+
+	// Per-window occupancy: time-weighted mean and peak over the
+	// window span, summed across cores for the per-core pools.
+	LFBMean      []float64
+	LFBMax       []int
+	ChipMean     []float64
+	ChipMax      []int
+	SQMean       []float64
+	SQMax        []int
+	CQMean       []float64
+	CQMax        []int
+	RunnableMean []float64
+	RunnableMax  []int
+
+	// Whole-run rollups. The percentile totals come from merging every
+	// window histogram (stats.Histogram.Merge), not from re-recording.
+	TotalStarts    uint64
+	TotalCompletes uint64
+	TotalRetries   uint64
+	TotalTimeouts  uint64
+	TotalAbandoned uint64
+	TotalSwitches  uint64
+	TotalP50Ns     float64
+	TotalP99Ns     float64
+	TotalP999Ns    float64
+}
+
+// Windows returns the number of recorded windows.
+func (ts *TimeSeries) Windows() int {
+	if ts == nil {
+		return 0
+	}
+	return len(ts.Starts)
+}
+
+// Validate checks the structural invariants: positive window span and
+// every per-window slice aligned to the same length.
+func (ts *TimeSeries) Validate() error {
+	if ts == nil {
+		return nil
+	}
+	if ts.WindowPs <= 0 {
+		return fmt.Errorf("timeseries: window span %d ps must be positive", ts.WindowPs)
+	}
+	if ts.LastSpanPs < 0 || ts.LastSpanPs > ts.WindowPs {
+		return fmt.Errorf("timeseries: last span %d ps outside (0, %d]", ts.LastSpanPs, ts.WindowPs)
+	}
+	n := len(ts.Starts)
+	if n > 0 && ts.LastSpanPs == 0 {
+		return fmt.Errorf("timeseries: %d windows but zero last span", n)
+	}
+	for _, c := range []struct {
+		name string
+		len  int
+	}{
+		{"completes", len(ts.Completes)},
+		{"retries", len(ts.Retries)},
+		{"timeouts", len(ts.Timeouts)},
+		{"abandoned", len(ts.Abandoned)},
+		{"switches", len(ts.Switches)},
+		{"p50_ns", len(ts.P50Ns)},
+		{"p99_ns", len(ts.P99Ns)},
+		{"p999_ns", len(ts.P999Ns)},
+		{"lfb_mean", len(ts.LFBMean)},
+		{"lfb_max", len(ts.LFBMax)},
+		{"chipq_mean", len(ts.ChipMean)},
+		{"chipq_max", len(ts.ChipMax)},
+		{"sq_mean", len(ts.SQMean)},
+		{"sq_max", len(ts.SQMax)},
+		{"cq_mean", len(ts.CQMean)},
+		{"cq_max", len(ts.CQMax)},
+		{"runnable_mean", len(ts.RunnableMean)},
+		{"runnable_max", len(ts.RunnableMax)},
+	} {
+		if c.len != n {
+			return fmt.Errorf("timeseries: %s has %d windows, starts has %d", c.name, c.len, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSeries builds a minimal consistent two-window series.
+func validSeries() *TimeSeries {
+	return &TimeSeries{
+		WindowPs:   10_000_000,
+		LastSpanPs: 4_000_000,
+		Starts:     []uint64{3, 1},
+		Completes:  []uint64{2, 2},
+		Retries:    []uint64{0, 0},
+		Timeouts:   []uint64{0, 0},
+		Abandoned:  []uint64{0, 0},
+		Switches:   []uint64{1, 0},
+		P50Ns:      []float64{1000, 1000},
+		P99Ns:      []float64{1200, 1100},
+		P999Ns:     []float64{1200, 1100},
+		LFBMean:    []float64{0.5, 0.25}, LFBMax: []int{1, 1},
+		ChipMean: []float64{0, 0}, ChipMax: []int{0, 0},
+		SQMean: []float64{0, 0}, SQMax: []int{0, 0},
+		CQMean: []float64{0, 0}, CQMax: []int{0, 0},
+		RunnableMean: []float64{0, 0}, RunnableMax: []int{0, 0},
+	}
+}
+
+func TestTimeSeriesValidate(t *testing.T) {
+	if err := validSeries().Validate(); err != nil {
+		t.Fatalf("valid series rejected: %v", err)
+	}
+
+	bad := validSeries()
+	bad.WindowPs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero window accepted")
+	}
+
+	bad = validSeries()
+	bad.LastSpanPs = bad.WindowPs + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("last span longer than the window accepted")
+	}
+
+	bad = validSeries()
+	bad.P99Ns = bad.P99Ns[:1]
+	err := bad.Validate()
+	if err == nil {
+		t.Error("misaligned p99 column accepted")
+	} else if !strings.Contains(err.Error(), "p99") {
+		t.Errorf("misalignment error does not name the column: %v", err)
+	}
+
+	bad = validSeries()
+	bad.RunnableMax = append(bad.RunnableMax, 9)
+	if err := bad.Validate(); err == nil {
+		t.Error("overlong gauge column accepted")
+	}
+}
+
+func TestTimeSeriesWindowsNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	if ts.Windows() != 0 {
+		t.Error("nil series must report 0 windows")
+	}
+	if got := validSeries().Windows(); got != 2 {
+		t.Errorf("Windows() = %d, want 2", got)
+	}
+}
+
+func TestSeriesAttachMetrics(t *testing.T) {
+	var s Series
+	s.AttachMetrics(validSeries()) // before any point: no-op, no panic
+	if s.HasMetrics() {
+		t.Error("attach to an empty series must be a no-op")
+	}
+	s.Add(1, 2)
+	s.AttachMetrics(nil)
+	if s.HasMetrics() {
+		t.Error("nil attach must leave the point unmarked")
+	}
+	s.AddRun(2, 3, RunDiag{Accesses: 7})
+	ts := validSeries()
+	s.AttachMetrics(ts)
+	if !s.HasMetrics() || s.Metrics[1] != ts || s.Metrics[0] != nil {
+		t.Errorf("metrics attach landed wrong: %v", s.Metrics)
+	}
+	if len(s.Metrics) != len(s.X) {
+		t.Errorf("metrics misaligned: %d for %d points", len(s.Metrics), len(s.X))
+	}
+}
