@@ -56,6 +56,7 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 		metrics  = flag.Bool("metrics", false, "record a windowed flight-recorder time series per measured run (requires -json; composes with -parallel)")
 		metricsW = flag.Float64("metrics-window", 10, "flight-recorder window span in simulated microseconds")
+		attribF  = flag.Bool("attrib", false, "record a per-phase latency attribution summary per measured run (requires -json; composes with -parallel and -metrics); inspect with `kurec blame`")
 	)
 	flag.Parse()
 
@@ -160,6 +161,17 @@ func main() {
 			os.Exit(1)
 		}
 		suite.Base.MetricsWindow = sim.FromNanoseconds(*metricsW * 1e3)
+	}
+
+	// Attribution likewise lands in the JSON run report only (and, when
+	// -metrics is also on, as per-window phase columns in each cell's
+	// time series).
+	if *attribF {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "killerusec: -attrib requires -json (the attribution summary is part of the run report)")
+			os.Exit(1)
+		}
+		suite.Base.Attribution = true
 	}
 
 	// Tracing attaches one recorder to the whole invocation: every

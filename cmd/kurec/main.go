@@ -16,6 +16,7 @@
 //	kurec cache gc -dir .kucache               # evict entries from stale builds
 //	kurec top job-0003                         # live flight-recorder view of a kurecd job
 //	kurec metrics run.json -csv                # flatten a report's time series to CSV
+//	kurec blame run.json -top                  # per-phase latency blame per cell
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -54,6 +55,8 @@ func main() {
 		err = cmdTop(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "blame":
+		err = cmdBlame(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache|top|metrics [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache|top|metrics|blame [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/attrib"
 	"repro/internal/report"
 )
 
@@ -43,7 +44,11 @@ func cmdMetrics(args []string) error {
 	if err != nil {
 		return err
 	}
-	if r.Timeseries == nil {
+	// CSV mode never errors on an empty selection: a report without a
+	// timeseries section (or with nothing matching the filters) yields
+	// just the header, so a pipeline concatenating many reports always
+	// sees the same stable column set.
+	if r.Timeseries == nil && !*csv {
 		return fmt.Errorf("%s has no timeseries section (run killerusec with -metrics)", path)
 	}
 
@@ -64,12 +69,11 @@ func cmdMetrics(args []string) error {
 			}
 		}
 	}
-	if len(cells) == 0 {
-		return fmt.Errorf("%s: no cells with metrics match the selection", path)
-	}
-
 	if *csv {
 		return writeMetricsCSV(os.Stdout, cells)
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("%s: no cells with metrics match the selection", path)
 	}
 
 	fmt.Printf("%s: timeseries v%d, window %gus, %d cells with metrics\n",
@@ -92,20 +96,34 @@ type metricsCell struct {
 }
 
 // writeMetricsCSV flattens every window of every cell into one CSV
-// stream: one row per (cell, window), cells in report order.
+// stream: one row per (cell, window), cells in report order. The
+// column set is fixed — it always ends with one `<phase>_ps` column
+// per attribution phase (zeros when the run had no -attrib), so the
+// header is identical no matter which sections the report carries.
 func writeMetricsCSV(w io.Writer, cells []metricsCell) error {
-	if _, err := fmt.Fprintln(w, "table,series,x,window,start_us,window_us,starts,completes,retries,timeouts,abandoned,switches,p50_ns,p99_ns,p999_ns,lfb_mean,lfb_max,chipq_mean,chipq_max,sq_mean,sq_max,cq_mean,cq_max,runnable_mean,runnable_max"); err != nil {
+	header := "table,series,x,window,start_us,window_us,starts,completes,retries,timeouts,abandoned,switches,p50_ns,p99_ns,p999_ns,lfb_mean,lfb_max,chipq_mean,chipq_max,sq_mean,sq_max,cq_mean,cq_max,runnable_mean,runnable_max"
+	phases := attrib.Names()
+	for _, ph := range phases {
+		header += "," + ph + "_ps"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, c := range cells {
 		ts := c.ts
 		windowUs := float64(ts.WindowUs)
+		// Map this cell's phase columns onto the canonical taxonomy; a
+		// cell without phase columns emits zeros.
+		col := make(map[string]int, len(ts.PhaseNames))
+		for j, name := range ts.PhaseNames {
+			col[name] = j
+		}
 		for i := range ts.Starts {
 			spanUs := windowUs
 			if i == len(ts.Starts)-1 {
 				spanUs = float64(ts.LastSpanUs)
 			}
-			_, err := fmt.Fprintf(w, "%s,%s,%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%g,%g,%g,%g,%d,%g,%d,%g,%d,%g,%d,%g,%d\n",
+			_, err := fmt.Fprintf(w, "%s,%s,%g,%d,%g,%g,%d,%d,%d,%d,%d,%d,%g,%g,%g,%g,%d,%g,%d,%g,%d,%g,%d,%g,%d",
 				csvField(c.table), csvField(c.series), c.x, i, float64(i)*windowUs, spanUs,
 				ts.Starts[i], ts.Completes[i], ts.Retries[i], ts.Timeouts[i], ts.Abandoned[i], ts.Switches[i],
 				float64(ts.P50Ns[i]), float64(ts.P99Ns[i]), float64(ts.P999Ns[i]),
@@ -115,6 +133,18 @@ func writeMetricsCSV(w io.Writer, cells []metricsCell) error {
 				float64(ts.CQMean[i]), ts.CQMax[i],
 				float64(ts.RunnableMean[i]), ts.RunnableMax[i])
 			if err != nil {
+				return err
+			}
+			for _, ph := range phases {
+				var ps int64
+				if j, ok := col[ph]; ok && i < len(ts.Phases) {
+					ps = ts.Phases[i][j]
+				}
+				if _, err := fmt.Fprintf(w, ",%d", ps); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}

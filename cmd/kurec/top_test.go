@@ -156,7 +156,7 @@ func TestWriteMetricsCSV(t *testing.T) {
 	}
 	// The comma in the label must be quoted; window 0 spans the full
 	// window, the final window only its partial span.
-	if want := `fig3,"prefetch, t=2",4,0,0,10,3,2,0,0,0,1,1000,1200,1200,0.5,1,0,0,0,0,0,0,0,0`; lines[1] != want {
+	if want := `fig3,"prefetch, t=2",4,0,0,10,3,2,0,0,0,1,1000,1200,1200,0.5,1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0`; lines[1] != want {
 		t.Errorf("row 0 = %q\n  want %q", lines[1], want)
 	}
 	if !strings.HasPrefix(lines[2], `fig3,"prefetch, t=2",4,1,10,4,`) {

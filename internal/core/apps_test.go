@@ -136,7 +136,7 @@ func TestSpuriousRequestDuringReplayRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.eng.At(5*sim.Microsecond, func() {
-		e.dev.MMIORead(0, 0xDEAD0000, trace.Span{}, func([]byte) {})
+		e.dev.MMIORead(0, 0xDEAD0000, trace.Span{}, nil, func([]byte) {})
 	})
 	m.Reset()
 	c, err := launch(e, m, 4, runPrefetchCore)

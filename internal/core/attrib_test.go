@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/attrib"
+	"repro/internal/fault"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+func gobRoundTrip(in, out interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		return err
+	}
+	return gob.NewDecoder(&buf).Decode(out)
+}
+
+// attribCfg returns the default platform with latency attribution on.
+func attribCfg() platform.Config {
+	cfg := platform.Default()
+	cfg.Attribution = true
+	return cfg
+}
+
+func attribRuns(t *testing.T, cfg platform.Config) map[string]Result {
+	t.Helper()
+	w := ubench(testIters)
+	return map[string]Result{
+		"prefetch": must(RunPrefetch(cfg, w, 4, false)),
+		"swqueue":  must(RunSWQueue(cfg, w, 4, false)),
+		"kernelq":  must(RunKernelQueue(cfg, w, 2, false)),
+		"ondemand": must(RunOnDemandDevice(cfg, w)),
+	}
+}
+
+// TestAttributionSumsExactly is the hard invariant of the attribution
+// layer: for every mechanism, fault-free and faulty, the per-phase
+// picosecond sums total exactly the measured end-to-end windows, every
+// opened ledger closed cleanly (no end-time clamps), and the ledger
+// count matches the mechanism's own access counter.
+func TestAttributionSumsExactly(t *testing.T) {
+	faulty := attribCfg()
+	faulty.Faults = fault.Plan{Seed: 11, DropCompletionProb: 0.02, StragglerProb: 0.02}
+	for name, cfg := range map[string]platform.Config{"clean": attribCfg(), "faulty": faulty} {
+		for mech, r := range attribRuns(t, cfg) {
+			a := r.Attrib
+			if a == nil {
+				t.Errorf("%s/%s: attribution enabled but Result.Attrib is nil", name, mech)
+				continue
+			}
+			// Validate enforces sum(phase SumPs) == TotalPs exactly.
+			if err := a.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", name, mech, err)
+			}
+			if a.Mismatches != 0 {
+				t.Errorf("%s/%s: %d ledger closes needed clamping", name, mech, a.Mismatches)
+			}
+			if a.Accesses != uint64(r.Accesses) {
+				t.Errorf("%s/%s: %d ledgers closed, measured %d accesses", name, mech, a.Accesses, r.Accesses)
+			}
+			if a.TotalPs <= 0 {
+				t.Errorf("%s/%s: non-positive attributed total %d", name, mech, a.TotalPs)
+			}
+		}
+	}
+}
+
+// TestAttributionPhaseShapes pins the mechanism-shaped facts. The MMIO
+// mechanisms (prefetch, on-demand) see the device's delay module
+// directly, so device service shows up as its own phase; the software-
+// queue mechanisms time the delay module off the descriptor's
+// submission stamp, so with a microsecond budget the descriptor fetch
+// subsumes the service window entirely and the time lands in queue
+// wait instead. Recovery phases appear only under fault injection.
+func TestAttributionPhaseShapes(t *testing.T) {
+	runs := attribRuns(t, attribCfg())
+	for mech, r := range runs {
+		a := r.Attrib
+		if got := a.PhasePs("retry_backoff") + a.PhasePs("timeout_slop"); got != 0 {
+			t.Errorf("%s: fault-free run attributed %d ps to recovery", mech, got)
+		}
+		if got := a.PhasePs("transit"); got <= 0 {
+			t.Errorf("%s: no transit time attributed", mech)
+		}
+	}
+	for _, mech := range []string{"prefetch", "ondemand"} {
+		if got := runs[mech].Attrib.PhasePs("device"); got <= 0 {
+			t.Errorf("%s: no device time attributed", mech)
+		}
+	}
+	for _, mech := range []string{"swqueue", "kernelq"} {
+		if got := runs[mech].Attrib.PhasePs("queue_wait"); got <= 0 {
+			t.Errorf("%s: no queue wait attributed", mech)
+		}
+	}
+}
+
+func TestAttributionAbsentWhenDisabled(t *testing.T) {
+	w := ubench(testIters)
+	r := must(RunPrefetch(platform.Default(), w, 4, false))
+	if r.Attrib != nil {
+		t.Error("attribution disabled but Result.Attrib is set")
+	}
+	if r2 := must(RunOnDemandDevice(platform.Default(), w)); r2.Attrib != nil {
+		t.Error("ondemand: attribution disabled but Result.Attrib is set")
+	}
+}
+
+// TestAttributionDoesNotPerturbMeasurement pins the observational
+// contract: enabling attribution changes no Measurement field and no
+// Diag counter, for every mechanism, fault-free and faulty.
+func TestAttributionDoesNotPerturbMeasurement(t *testing.T) {
+	faultyPlain := platform.Default()
+	faultyPlain.Faults = fault.Plan{Seed: 11, DropCompletionProb: 0.02, StragglerProb: 0.02}
+	faultyAttrib := faultyPlain
+	faultyAttrib.Attribution = true
+	cases := []struct {
+		name        string
+		plain, with platform.Config
+	}{
+		{"clean", platform.Default(), attribCfg()},
+		{"faulty", faultyPlain, faultyAttrib},
+	}
+	for _, tc := range cases {
+		plain := attribRuns(t, tc.plain)
+		with := attribRuns(t, tc.with)
+		for mech := range plain {
+			if !reflect.DeepEqual(plain[mech].Measurement, with[mech].Measurement) {
+				t.Errorf("%s/%s: attribution changed the measurement:\nplain: %+v\nwith:  %+v",
+					tc.name, mech, plain[mech].Measurement, with[mech].Measurement)
+			}
+			if !reflect.DeepEqual(plain[mech].Diag, with[mech].Diag) {
+				t.Errorf("%s/%s: attribution changed the diagnostics:\nplain: %+v\nwith:  %+v",
+					tc.name, mech, plain[mech].Diag, with[mech].Diag)
+			}
+		}
+	}
+}
+
+func TestAttributionDeterministicAcrossRuns(t *testing.T) {
+	w := ubench(testIters)
+	a := must(RunSWQueue(attribCfg(), w, 4, false))
+	b := must(RunSWQueue(attribCfg(), w, 4, false))
+	if !reflect.DeepEqual(a.Attrib, b.Attrib) {
+		t.Error("identical runs produced different attribution")
+	}
+}
+
+// TestAttributionPhaseColumnsMatchSummary cross-checks the telemetry
+// integration: with both the flight recorder and attribution enabled,
+// the per-window phase columns are present, aligned, and sum column-
+// wise to the attribution summary's exact totals.
+func TestAttributionPhaseColumnsMatchSummary(t *testing.T) {
+	cfg := metricsCfg()
+	cfg.Attribution = true
+	w := ubench(testIters)
+	runs := map[string]Result{
+		"prefetch": must(RunPrefetch(cfg, w, 4, false)),
+		"swqueue":  must(RunSWQueue(cfg, w, 4, false)),
+		"ondemand": must(RunOnDemandDevice(cfg, w)),
+	}
+	for mech, r := range runs {
+		ts := r.Series
+		if ts == nil || r.Attrib == nil {
+			t.Fatalf("%s: missing series or attribution", mech)
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if !reflect.DeepEqual(ts.PhaseNames, attrib.Names()) {
+			t.Fatalf("%s: phase columns %v, want %v", mech, ts.PhaseNames, attrib.Names())
+		}
+		sums := make([]int64, len(ts.PhaseNames))
+		for _, row := range ts.Phases {
+			for i, v := range row {
+				sums[i] += v
+			}
+		}
+		for i, name := range ts.PhaseNames {
+			if want := r.Attrib.PhasePs(name); sums[i] != want {
+				t.Errorf("%s: column %s sums to %d ps across windows, summary has %d",
+					mech, name, sums[i], want)
+			}
+		}
+	}
+	// Recorder without attribution: no phase columns.
+	r := must(RunPrefetch(metricsCfg(), w, 4, false))
+	if len(r.Series.PhaseNames) != 0 || len(r.Series.Phases) != 0 {
+		t.Error("phase columns present without attribution enabled")
+	}
+}
+
+// TestAttributionSummaryGobRoundTrip guards the result-cache path: the
+// summary must survive gob encoding unchanged (it rides core.Result
+// through the sweep cache).
+func TestAttributionSummaryGobRoundTrip(t *testing.T) {
+	r := must(RunSWQueue(attribCfg(), ubench(testIters), 4, false))
+	var got stats.AttribSummary
+	if err := gobRoundTrip(*r.Attrib, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r.Attrib, got) {
+		t.Error("attribution summary changed across gob round trip")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/fault"
@@ -44,6 +45,12 @@ type env struct {
 	// (MetricsWindow > 0); like tr, disabled telemetry costs the
 	// mechanisms exactly one nil check per event.
 	rec *telemetry.Recorder
+
+	// at is nil unless the config enables latency attribution; the
+	// mechanisms open a per-access phase ledger only when it is
+	// non-nil, and a nil probe hands out nil ledgers whose marks are
+	// no-ops, so disabled attribution costs one nil check per access.
+	at *attrib.Probe
 
 	// Pre-rendered per-core counter-track names, so the state-change
 	// hooks never format strings on the hot path.
@@ -352,11 +359,31 @@ func (e *env) installPoolHooks() {
 	})
 }
 
+// startAttrib attaches the latency-attribution probe when the config
+// enables it. Like the trace and recorder layers it only observes
+// timestamps the simulation already computes and never schedules
+// events, so attributed and unattributed runs are timing-identical.
+// When the flight recorder is also on, every closed ledger feeds the
+// recorder's per-window phase columns.
+func (e *env) startAttrib(label string) {
+	if !e.cfg.Attribution {
+		return
+	}
+	e.at = attrib.NewProbe(label)
+	if e.rec != nil {
+		e.rec.SetPhaseNames(attrib.Names())
+		e.at.SetOnClose(func(end sim.Time, ph *[attrib.NumPhases]int64) {
+			e.rec.PhaseSample(end, ph[:])
+		})
+	}
+}
+
 // startObservability attaches every enabled observability layer — the
-// Perfetto trace run, the flight recorder, and the shared pool hooks
-// that feed them — for one measured run.
+// Perfetto trace run, the flight recorder, the attribution probe, and
+// the shared pool hooks that feed them — for one measured run.
 func (e *env) startObservability(label string) {
 	e.startTrace(label)
 	e.startRecorder(label)
+	e.startAttrib(label)
 	e.installPoolHooks()
 }

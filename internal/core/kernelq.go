@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -51,21 +52,16 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			gate := ep.CompletionGate()
 			compls := cq.Drain()
 			if len(compls) == 0 {
-				if e.faults == nil || len(waiting) == 0 {
-					p.Wait(gate)
-					continue
-				}
 				// Recovery backstop: the kernel arms a timer at the
 				// earliest descriptor deadline in case the completion
 				// interrupt never comes.
-				if !p.WaitTimeout(gate, minDeadline(waiting)-p.Now()) {
-					resubmitOverdue(p, e, rq, ep, waiting, states, ready, c)
-				}
+				waitCompletionOrRecover(p, e, rq, ep, gate, waiting, states, ready, c)
 				continue
 			}
 			// Interrupt delivery + handler, then wake the syscall
 			// waiters; completions present in the queue coalesce into
 			// one interrupt.
+			intStart := p.Now()
 			p.Sleep(e.cfg.InterruptCost)
 			for _, compl := range compls {
 				w, ok := waiting[compl.ID]
@@ -80,6 +76,18 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 				}
 				w.sp.End(compl.Posted)
 				st := states[w.th]
+				// Time until the interrupt fired is completion wait; the
+				// interrupt delivery + handler is switch overhead. The
+				// ledger parks on the thread state until the syscall
+				// returns.
+				w.aw.To(attrib.PhaseComplWait, intStart)
+				w.aw.To(attrib.PhaseSwitch, p.Now())
+				if w.aw != nil && st.atr == nil {
+					st.atr = make([]*attrib.Access, len(st.data))
+				}
+				if st.atr != nil {
+					st.atr[w.slot] = w.aw
+				}
 				st.data[w.slot] = ep.Data(compl.ID)
 				st.remaining--
 				if st.remaining == 0 {
@@ -96,12 +104,21 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			// The thread was de-scheduled inside its syscall; resuming
 			// always pays a kernel-mode context switch (even a sole
 			// thread was switched away from), then the syscall returns.
+			resumeStart := p.Now()
 			p.Sleep(e.cfg.KernelCtxSwitch)
 			c.switches++
 			if e.rec != nil {
 				e.rec.Switches(p.Now(), 1)
 			}
 			p.Sleep(e.cfg.SyscallCost)
+			// Ready-queue time is completion wait; the kernel switch
+			// plus syscall return is switch overhead, closing the batch's
+			// ledgers at the moment the thread gets its data.
+			for _, aw := range st.atr {
+				aw.To(attrib.PhaseComplWait, resumeStart)
+				aw.Close(attrib.PhaseSwitch, p.Now())
+			}
+			st.atr = nil
 			req = th.Resume(st.payload)
 			st.payload = nil
 		} else {
@@ -123,7 +140,9 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 			st.data = make([][]byte, len(req.Addrs))
 			st.remaining = len(req.Addrs)
 			for i, addr := range req.Addrs {
+				aw := e.at.Open(p.Now())
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
+				aw.To(attrib.PhaseIssue, p.Now())
 				c.accesses++
 				if e.rec != nil {
 					e.rec.Started(p.Now())
@@ -133,12 +152,12 @@ func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, 
 				if e.tr != nil {
 					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
 				}
-				id := rq.PushSpan(addr, target, p.Now(), sp)
+				id := rq.PushTracked(addr, target, p.Now(), sp, aw)
 				waiting[id] = descWait{
 					th: th, slot: i, submitted: p.Now(),
 					addr: addr, target: target,
 					deadline: p.Now() + e.cfg.RetryTimeout(0),
-					sp:       sp,
+					sp:       sp, aw: aw,
 				}
 			}
 			p.Sleep(e.cfg.DoorbellMMIO)

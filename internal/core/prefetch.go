@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -9,10 +10,13 @@ import (
 )
 
 // pendingAccess tracks one thread's outstanding prefetch batch: the
-// in-flight lines and the slots their data will land in.
+// in-flight lines and the slots their data will land in. atr holds the
+// per-line attribution ledgers (nil slice when attribution is off, nil
+// entries for cache hits).
 type pendingAccess struct {
 	data   [][]byte
 	gates  []*sim.Gate
+	atr    []*attrib.Access
 	issued sim.Time
 }
 
@@ -53,8 +57,14 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 		if th == nil {
 			break
 		}
+		// The switch interval is captured so delivery below can attribute
+		// it per line; when no switch happens both stamps stay zero and
+		// the attribution marks clamp to nothing.
+		var switchStart, switchEnd sim.Time
 		if cur != nil && th != cur {
+			switchStart = p.Now()
 			p.Sleep(e.cfg.CtxSwitch)
+			switchEnd = p.Now()
 			c.switches++
 			if e.rec != nil {
 				e.rec.Switches(p.Now(), 1)
@@ -76,6 +86,15 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 			c.recordLatency(p.Now() - pa.issued)
 			if e.rec != nil {
 				e.rec.Sample(p.Now(), p.Now()-pa.issued)
+			}
+			// Close each line's ledger at consumption. The unconditional
+			// marks rely on the clamp: a line that landed before the
+			// switch charges it to the switch phase, a line that was
+			// still in flight keeps everything in completion wait.
+			for _, aw := range pa.atr {
+				aw.To(attrib.PhaseComplWait, switchStart)
+				aw.To(attrib.PhaseSwitch, switchEnd)
+				aw.Close(attrib.PhaseComplWait, p.Now())
 			}
 			delete(pending, th)
 			req = th.Resume(pa.data)
@@ -119,6 +138,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				gates:  make([]*sim.Gate, len(req.Addrs)),
 				issued: p.Now(),
 			}
+			if e.at != nil {
+				pa.atr = make([]*attrib.Access, len(req.Addrs))
+			}
 			for i, addr := range req.Addrs {
 				// A cache hit satisfies the prefetch on-chip: no LFB
 				// entry, no device access (§III-B, cacheable MMIO).
@@ -135,13 +157,19 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				if e.tr != nil {
 					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
 				}
+				aw := e.at.Open(p.Now())
+				if pa.atr != nil {
+					pa.atr[i] = aw
+				}
 
 				// prefetcht0: allocate an LFB entry; a full pool stalls
 				// the core until an entry frees — the 10-entry limit of
 				// §V-B.
 				p.AcquireToken(e.lfb[coreID])
 				sp.Point(p.Now(), "lfb-acquired")
+				aw.To(attrib.PhaseQueueWait, p.Now())
 				p.Sleep(e.cfg.PrefetchIssue)
+				aw.To(attrib.PhaseIssue, p.Now())
 				c.accesses++
 				if e.rec != nil {
 					e.rec.Started(p.Now())
@@ -157,7 +185,9 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				if e.faults == nil {
 					e.chip.OnAcquire(func() {
 						sp.Point(e.eng.Now(), "chipq-acquired")
-						e.dev.MMIORead(coreID, addr, sp, func(data []byte) {
+						aw.To(attrib.PhaseQueueWait, e.eng.Now())
+						e.dev.MMIORead(coreID, addr, sp, aw, func(data []byte) {
+							aw.To(attrib.PhaseTransit, e.eng.Now())
 							pa.data[i] = data
 							if cc := e.caches[coreID]; cc != nil {
 								cc.Insert(addr, data)
@@ -186,6 +216,7 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 						return
 					}
 					completed = true
+					aw.To(attrib.PhaseTransit, e.eng.Now())
 					pa.data[i] = data
 					if genuine {
 						if cc := e.caches[coreID]; cc != nil {
@@ -202,13 +233,14 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				}
 				var attempt func(n int)
 				attempt = func(n int) {
-					e.dev.MMIORead(coreID, addr, sp, func(data []byte) {
+					e.dev.MMIORead(coreID, addr, sp, aw, func(data []byte) {
 						finish(data, true)
 					})
 					e.eng.After(e.cfg.RetryTimeout(n), func() {
 						if completed {
 							return
 						}
+						aw.To(attrib.PhaseRetry, e.eng.Now())
 						c.timeouts++
 						if e.rec != nil {
 							e.rec.Timeouts(e.eng.Now(), 1)
@@ -233,6 +265,7 @@ func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread,
 				}
 				e.chip.OnAcquire(func() {
 					sp.Point(e.eng.Now(), "chipq-acquired")
+					aw.To(attrib.PhaseQueueWait, e.eng.Now())
 					attempt(0)
 				})
 			}

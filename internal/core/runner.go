@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/cpu"
 	"repro/internal/fault"
 	"repro/internal/platform"
@@ -24,6 +25,11 @@ type Result struct {
 	// enables it (MetricsWindow > 0). It is a pure value type so it
 	// rides through the gob-encoded result cache unchanged.
 	Series *stats.TimeSeries
+
+	// Attrib is the latency-attribution summary, nil unless the config
+	// enables it (Attribution). Like Series it is a pure value type
+	// that rides through the gob-encoded result cache unchanged.
+	Attrib *stats.AttribSummary
 }
 
 // RunDRAMBaseline measures the single-threaded on-demand DRAM run that
@@ -108,6 +114,47 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 		}
 	}
 
+	// Attribution for the analytic model decomposes each load's closed-
+	// form latency the same way HostAccessLatency assembled it: the
+	// failed attempts' timeouts are retry backoff, the PCIe round trip
+	// of the successful attempt is transit, and the remainder is device
+	// service. The decomposition telescopes exactly because the model's
+	// complete-issue window equals the outcome latency (device loads
+	// issue back-to-back with no issue gap).
+	var at *attrib.Probe
+	if cfg.Attribution {
+		at = attrib.NewProbe(label)
+		if rec != nil {
+			rec.SetPhaseNames(attrib.Names())
+			at.SetOnClose(func(end sim.Time, ph *[attrib.NumPhases]int64) {
+				rec.PhaseSample(end, ph[:])
+			})
+		}
+		rtt := 2*cfg.PCIePropagation + cfg.TLPTime(0) + cfg.TLPTime(platform.CacheLineBytes)
+		prev := observe
+		observe = func(issue, complete sim.Time, out fault.AccessOutcome) {
+			if prev != nil {
+				prev(issue, complete, out)
+			}
+			aw := at.Open(issue)
+			if out.Abandoned {
+				aw.Close(attrib.PhaseRetry, complete)
+				return
+			}
+			var backoff sim.Time
+			for i := 0; i < out.Timeouts; i++ {
+				backoff += cfg.RetryTimeout(i)
+			}
+			aw.To(attrib.PhaseRetry, issue+backoff)
+			transitEnd := issue + backoff + rtt
+			if transitEnd > complete {
+				transitEnd = complete
+			}
+			aw.To(attrib.PhaseTransit, transitEnd)
+			aw.Close(attrib.PhaseDevice, complete)
+		}
+	}
+
 	r := cpu.DeviceOnDemandObserved(cfg, iters, inj, observe)
 	res := Result{Measurement: stats.Measurement{
 		Label:          label,
@@ -131,6 +178,7 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 	res.Measurement.AccessP99Ns = res.Diag.AccessP99Ns
 	res.Measurement.AccessP999Ns = res.Diag.AccessP999Ns
 	res.Series = rec.Finish(r.Elapsed)
+	res.Attrib = at.Summary()
 	return res, nil
 }
 
@@ -172,6 +220,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		recCfg.Trace = nil
 		recCfg.MetricsWindow = 0
 		recCfg.MetricsSink = nil
+		recCfg.Attribution = false
 		rec := newEnv(recCfg, w.Backing())
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			rec.dev.EnableRecording(coreID)
@@ -215,6 +264,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		Diag: diag,
 	}
 	res.Series = e.rec.Finish(c.finish)
+	res.Attrib = e.at.Summary()
 	e.eng.Recycle()
 	return res, nil
 }
@@ -248,6 +298,7 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 	cfg.Trace = nil // recordings capture clean traces, never trace events
 	cfg.MetricsWindow = 0
 	cfg.MetricsSink = nil
+	cfg.Attribution = false
 	e := newEnv(cfg, w.Backing())
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		e.dev.EnableRecording(coreID)

@@ -1,11 +1,8 @@
 package core
 
 import (
-	"sort"
-
-	"repro/internal/device"
+	"repro/internal/attrib"
 	"repro/internal/hostmem"
-	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -18,6 +15,10 @@ type swqThreadState struct {
 	payload   [][]byte // data to deliver on the next resume
 	data      [][]byte // in-progress batch results, by slot
 	remaining int      // descriptors of the current batch still pending
+
+	// atr holds the batch's attribution ledgers awaiting delivery, by
+	// slot; nil when attribution is off or the batch had none complete.
+	atr []*attrib.Access
 }
 
 // descWait maps an outstanding descriptor to the thread slot its data
@@ -33,90 +34,8 @@ type descWait struct {
 	target    uint64
 	attempts  int
 	deadline  sim.Time
-	sp        trace.Span // access-lifecycle span; survives resubmission
-}
-
-// minDeadline returns the earliest recovery deadline among outstanding
-// descriptors (order-independent, so map iteration is safe).
-func minDeadline(waiting map[uint64]descWait) sim.Time {
-	var min sim.Time
-	first := true
-	for _, w := range waiting {
-		if first || w.deadline < min {
-			min = w.deadline
-			first = false
-		}
-	}
-	return min
-}
-
-// resubmitOverdue performs timeout recovery for every outstanding
-// descriptor whose deadline has passed: within the retry budget the
-// descriptor is re-pushed under a fresh ID with a backed-off deadline
-// (the rewrite cost is charged to the core); past it the access is
-// abandoned and its slot filled with a zero line so the thread still
-// completes. If anything was resubmitted the doorbell is rung
-// unconditionally — the fetcher may be parked on a doorbell that a
-// fault swallowed. Descriptor IDs are scanned in sorted order to keep
-// the run deterministic.
-func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
-	waiting map[uint64]descWait, states map[*uthread.Thread]*swqThreadState,
-	ready *uthread.FIFO, c *counters) {
-	ids := make([]uint64, 0, len(waiting))
-	for id := range waiting {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	resubmitted := false
-	for _, id := range ids {
-		w := waiting[id]
-		if w.deadline > p.Now() {
-			continue
-		}
-		delete(waiting, id)
-		c.timeouts++
-		if e.rec != nil {
-			e.rec.Timeouts(p.Now(), 1)
-		}
-		w.sp.Point(p.Now(), "timeout")
-		if w.attempts >= e.cfg.MaxRetries {
-			// Out of budget: abandon with a zero-filled line.
-			c.abandoned++
-			c.recordLatency(p.Now() - w.submitted)
-			if e.rec != nil {
-				e.rec.Abandoned(p.Now(), 1)
-				e.rec.Finished(p.Now())
-				e.rec.Sample(p.Now(), p.Now()-w.submitted)
-			}
-			w.sp.Point(p.Now(), "abandoned")
-			w.sp.End(p.Now())
-			st := states[w.th]
-			st.data[w.slot] = make([]byte, platform.CacheLineBytes)
-			st.remaining--
-			if st.remaining == 0 {
-				st.payload = st.data
-				ready.Push(w.th)
-			}
-			continue
-		}
-		c.retries++
-		if e.rec != nil {
-			e.rec.Retries(p.Now(), 1)
-		}
-		p.Sleep(e.cfg.SWQPerAccessOverhead)
-		w.attempts++
-		w.deadline = p.Now() + e.cfg.RetryTimeout(w.attempts)
-		w.sp.Point(p.Now(), "retry")
-		newID := rq.PushSpan(w.addr, w.target, p.Now(), w.sp)
-		waiting[newID] = w
-		resubmitted = true
-	}
-	if resubmitted {
-		p.Sleep(e.cfg.DoorbellMMIO)
-		rq.ClearDoorbellRequested()
-		ep.Doorbell()
-	}
+	sp        trace.Span     // access-lifecycle span; survives resubmission
+	aw        *attrib.Access // attribution ledger; survives resubmission
 }
 
 // installQueueHooks installs the depth observers on the request queue,
@@ -199,16 +118,7 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			p.Sleep(e.cfg.CompletionPoll)
 			compls := cq.Drain()
 			if len(compls) == 0 {
-				if e.faults == nil || len(waiting) == 0 {
-					p.Wait(gate)
-					continue
-				}
-				// Recovery backstop: wake at the earliest descriptor
-				// deadline even if no completion ever arrives (lost
-				// completion or swallowed doorbell).
-				if !p.WaitTimeout(gate, minDeadline(waiting)-p.Now()) {
-					resubmitOverdue(p, e, rq, ep, waiting, states, ready, c)
-				}
+				waitCompletionOrRecover(p, e, rq, ep, gate, waiting, states, ready, c)
 				continue
 			}
 			for _, compl := range compls {
@@ -226,6 +136,16 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 				}
 				w.sp.End(compl.Posted)
 				st := states[w.th]
+				// The poll found the completion now; everything since the
+				// device posted it is completion wait. The ledger parks on
+				// the thread state until the scheduler resumes it.
+				w.aw.To(attrib.PhaseComplWait, p.Now())
+				if w.aw != nil && st.atr == nil {
+					st.atr = make([]*attrib.Access, len(st.data))
+				}
+				if st.atr != nil {
+					st.atr[w.slot] = w.aw
+				}
 				st.data[w.slot] = ep.Data(compl.ID)
 				st.remaining--
 				if st.remaining == 0 {
@@ -238,8 +158,11 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			continue
 		}
 
+		var switchStart, switchEnd sim.Time
 		if cur != nil && th != cur {
+			switchStart = p.Now()
 			p.Sleep(e.cfg.CtxSwitch)
+			switchEnd = p.Now()
 			c.switches++
 			if e.rec != nil {
 				e.rec.Switches(p.Now(), 1)
@@ -250,6 +173,16 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 		st := states[th]
 		var req uthread.Request
 		if st.started {
+			// Close the batch's ledgers at delivery: ready-queue time is
+			// completion wait, the switch interval (when one happened) is
+			// switch overhead, and the residual until the thread actually
+			// consumes the data is completion wait again.
+			for _, aw := range st.atr {
+				aw.To(attrib.PhaseComplWait, switchStart)
+				aw.To(attrib.PhaseSwitch, switchEnd)
+				aw.Close(attrib.PhaseComplWait, p.Now())
+			}
+			st.atr = nil
 			req = th.Resume(st.payload)
 			st.payload = nil
 		} else {
@@ -293,7 +226,9 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 			st.data = make([][]byte, len(req.Addrs))
 			st.remaining = len(req.Addrs)
 			for i, addr := range req.Addrs {
+				aw := e.at.Open(p.Now())
 				p.Sleep(e.cfg.SWQPerAccessOverhead)
+				aw.To(attrib.PhaseIssue, p.Now())
 				c.accesses++
 				if e.rec != nil {
 					e.rec.Started(p.Now())
@@ -303,12 +238,12 @@ func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *c
 				if e.tr != nil {
 					sp = e.trCore[coreID].BeginSpan(p.Now(), "access", trace.Hex("addr", addr))
 				}
-				id := rq.PushSpan(addr, target, p.Now(), sp)
+				id := rq.PushTracked(addr, target, p.Now(), sp, aw)
 				waiting[id] = descWait{
 					th: th, slot: i, submitted: p.Now(),
 					addr: addr, target: target,
 					deadline: p.Now() + e.cfg.RetryTimeout(0),
-					sp:       sp,
+					sp:       sp, aw: aw,
 				}
 			}
 			// Ring the doorbell only if the device asked for it (or on

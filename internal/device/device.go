@@ -23,6 +23,7 @@ package device
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/pcie"
@@ -198,13 +199,17 @@ func (d *Device) WritesServed() uint64 { return d.writesServed }
 // coreID, starting now (the issue time at the core). done receives the
 // line when the response has fully arrived back at the host. sp is the
 // access-lifecycle trace span the read belongs to (the zero Span when
-// tracing is off); the device stamps its serve/fault edges on it.
+// tracing is off); the device stamps its serve/fault edges on it. aw is
+// likewise the read's latency-attribution ledger (nil when attribution
+// is off): request arrival closes the downstream-transit interval and
+// the response-send time closes the device-service interval; the
+// upstream transit is closed by the host when the data lands.
 //
 // The delay module targets an end-to-end latency of exactly
 // cfg.DeviceLatency, inclusive of the PCIe round trip (§IV-A); link
 // congestion or an on-demand-module detour can only push the response
 // later, never earlier.
-func (d *Device) MMIORead(coreID int, addr uint64, sp trace.Span, done func(data []byte)) {
+func (d *Device) MMIORead(coreID int, addr uint64, sp trace.Span, aw *attrib.Access, done func(data []byte)) {
 	issue := d.eng.Now()
 	latency := d.effectiveLatency()
 	if f, ok := d.inj.Straggle(); ok {
@@ -214,6 +219,7 @@ func (d *Device) MMIORead(coreID int, addr uint64, sp trace.Span, done func(data
 	// Read-request TLP travels downstream (header only).
 	d.link.SendDown(0, 0, func() {
 		sp.Point(d.eng.Now(), "req-at-device")
+		aw.To(attrib.PhaseTransit, d.eng.Now())
 		data, fromReplay := d.serve(coreID, addr)
 		// The delay module timestamps the request and computes when the
 		// response must leave so it lands at issue + latency.
@@ -239,6 +245,11 @@ func (d *Device) MMIORead(coreID int, addr uint64, sp trace.Span, done func(data
 		sp.Point(sendAt, "resp-sent")
 		respond := func() {
 			d.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
+				// The delay-module wait until sendAt was device service.
+				// Marked at arrival (never future-dated) so a straggling
+				// attempt's response cannot corrupt a ledger the host
+				// already closed or re-issued.
+				aw.To(attrib.PhaseDevice, sendAt)
 				done(data)
 			})
 		}

@@ -35,7 +35,7 @@ func TestMMIOReadExactLatency(t *testing.T) {
 			t.Fatal(err)
 		}
 		var done sim.Time
-		r.dev.MMIORead(0, 0, trace.Span{}, func(data []byte) {
+		r.dev.MMIORead(0, 0, trace.Span{}, nil, func(data []byte) {
 			done = r.eng.Now()
 			if len(data) != platform.CacheLineBytes {
 				t.Errorf("response size %d", len(data))
@@ -58,11 +58,11 @@ func TestMMIOReadReplayVsOnDemand(t *testing.T) {
 	responses := 0
 	// Matched replay accesses.
 	for i := 0; i < 4; i++ {
-		r.dev.MMIORead(0, uint64(i)*64, trace.Span{}, func([]byte) { responses++ })
+		r.dev.MMIORead(0, uint64(i)*64, trace.Span{}, nil, func([]byte) { responses++ })
 		r.eng.Run()
 	}
 	// Spurious wrong-path access: served by the on-demand module.
-	r.dev.MMIORead(0, 0xBAD0000, trace.Span{}, func([]byte) { responses++ })
+	r.dev.MMIORead(0, 0xBAD0000, trace.Span{}, nil, func([]byte) { responses++ })
 	r.eng.Run()
 	if responses != 5 {
 		t.Fatalf("responses = %d, want 5", responses)
@@ -75,7 +75,7 @@ func TestMMIOReadReplayVsOnDemand(t *testing.T) {
 func TestMMIOReadIdealModeWithoutRecording(t *testing.T) {
 	r := newRig(platform.Default())
 	var done sim.Time
-	r.dev.MMIORead(0, 0x40, trace.Span{}, func([]byte) { done = r.eng.Now() })
+	r.dev.MMIORead(0, 0x40, trace.Span{}, nil, func([]byte) { done = r.eng.Now() })
 	r.eng.Run()
 	// Ideal backing-only mode serves at replay-path timing.
 	if done != r.cfg.DeviceLatency {
@@ -96,7 +96,7 @@ func TestOnDemandDetourCannotRespondEarly(t *testing.T) {
 		t.Fatal(err)
 	}
 	var done sim.Time
-	r.dev.MMIORead(0, 0xBAD0000, trace.Span{}, func([]byte) { done = r.eng.Now() }) // spurious
+	r.dev.MMIORead(0, 0xBAD0000, trace.Span{}, nil, func([]byte) { done = r.eng.Now() }) // spurious
 	r.eng.Run()
 	if done <= cfg.DeviceLatency {
 		t.Errorf("response at %v not delayed past %v by on-demand detour", done, cfg.DeviceLatency)
@@ -147,8 +147,8 @@ func TestMMIOMulticoreOffsets(t *testing.T) {
 	// Each core's requests match through its own offset module. Note
 	// both modules share one recording, as in the paper.
 	got := 0
-	r.dev.MMIORead(0, 0, trace.Span{}, func([]byte) { got++ })
-	r.dev.MMIORead(1, 1<<32, trace.Span{}, func([]byte) { got++ })
+	r.dev.MMIORead(0, 0, trace.Span{}, nil, func([]byte) { got++ })
+	r.dev.MMIORead(1, 1<<32, trace.Span{}, nil, func([]byte) { got++ })
 	r.eng.Run()
 	if got != 2 || r.dev.ReplayServed() != 2 {
 		t.Errorf("served %d replay=%d, want both via replay", got, r.dev.ReplayServed())

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/hostmem"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -179,6 +180,9 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 			continue
 		}
 		desc.Span.Point(arrival, "desc-fetched")
+		// Time from submission to the fetch burst landing here is
+		// descriptor queue wait (doorbell, park, burst DMA).
+		desc.Attrib.To(attrib.PhaseQueueWait, arrival)
 		data, fromReplay := e.dev.serve(e.coreID, desc.Addr)
 		if fromReplay {
 			desc.Span.Point(arrival, "serve-replay")
@@ -212,33 +216,42 @@ func (e *SWQEndpoint) process(burst []hostmem.Descriptor) {
 		desc.Span.Point(sendAt, "resp-sent")
 		// Response-data write TLP, then host DRAM write.
 		e.dev.link.SendUpAt(sendAt, platform.CacheLineBytes, platform.CacheLineBytes, func() {
+			// The delay-module wait until the response left was device
+			// service. Marked at arrival (never future-dated) so a
+			// straggling descriptor's response cannot corrupt a ledger
+			// the host already closed or resubmitted.
+			desc.Attrib.To(attrib.PhaseDevice, sendAt)
 			dataLanded := e.dev.eng.NewGate()
 			e.dev.hostDRAM.Write(dataLanded)
 			dataLanded.OnFire(func() {
 				e.data[desc.ID] = data
 				desc.Span.Point(e.dev.eng.Now(), "data-landed")
+				desc.Attrib.To(attrib.PhaseTransit, e.dev.eng.Now())
 			})
 		})
 		// Completion write queues behind the data write on the upstream
 		// link, guaranteeing host-visible ordering.
-		e.sendCompletion(sendAt, desc.ID, desc.Span)
+		e.sendCompletion(sendAt, desc.ID, desc.Span, desc.Attrib)
 		if e.dev.inj.Duplicate() {
 			// Spurious second completion; the host scheduler discards
 			// entries for descriptors it no longer tracks.
 			desc.Span.Point(sendAt, "fault-duplicate")
-			e.sendCompletion(sendAt, desc.ID, desc.Span)
+			e.sendCompletion(sendAt, desc.ID, desc.Span, desc.Attrib)
 		}
 	}
 }
 
 // sendCompletion carries one completion entry upstream and lands it in
-// the host completion queue, stamping the landing on the access span.
-func (e *SWQEndpoint) sendCompletion(sendAt sim.Time, id uint64, sp trace.Span) {
+// the host completion queue, stamping the landing on the access span
+// and marking completion wait on the attribution ledger (a duplicate
+// completion's second mark clamps to zero on the closed ledger).
+func (e *SWQEndpoint) sendCompletion(sendAt sim.Time, id uint64, sp trace.Span, aw *attrib.Access) {
 	e.dev.link.SendUpAt(sendAt, e.dev.cfg.CompletionBytes, 0, func() {
 		complLanded := e.dev.eng.NewGate()
 		e.dev.hostDRAM.Write(complLanded)
 		complLanded.OnFire(func() {
 			sp.Point(e.dev.eng.Now(), "completion-posted")
+			aw.To(attrib.PhaseComplWait, e.dev.eng.Now())
 			e.postCompletion(id)
 		})
 	})

@@ -117,7 +117,7 @@ func TestMMIOReadTailLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	var done sim.Time
-	r.dev.MMIORead(0, 0, trace.Span{}, func([]byte) { done = r.eng.Now() })
+	r.dev.MMIORead(0, 0, trace.Span{}, nil, func([]byte) { done = r.eng.Now() })
 	r.eng.Run()
 	want := sim.Time(float64(cfg.DeviceLatency) * cfg.DeviceLatencyTailFactor)
 	if done != want {

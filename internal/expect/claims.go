@@ -19,6 +19,12 @@ func Claims() []Check {
 	add := func(id, table, claim string, eval func(r *report.Report) (bool, string)) {
 		cs = append(cs, Check{ID: id, Tables: []string{table}, Claim: claim, Eval: eval})
 	}
+	// addAttrib claims additionally require the report's attribution
+	// section, so they skip (not fail) on plain sweeps.
+	addAttrib := func(id, table, claim string, eval func(r *report.Report) (bool, string)) {
+		cs = append(cs, Check{ID: id, Tables: []string{table}, Claim: claim,
+			Requires: requiresAttribution, Eval: eval})
+	}
 
 	// ---- Fig 2: on-demand access (§V-A) ----
 	add("fig2.abysmal-drop", "fig2",
@@ -288,7 +294,140 @@ func Claims() []Check {
 			return appPeaksIn(r.Table("fig10d"), 1.2, 2.2)
 		})
 
+	// ---- Latency attribution (per-phase blame accounting) ----
+	// These read the optional attribution section (-attrib sweeps) and
+	// pin where the simulated time actually goes, not just the
+	// throughput curves it produces. Thresholds are calibrated against
+	// both the publication and -quick sweeps; all fractions are shares
+	// of summed end-to-end latency.
+	addAttrib("attrib.exact", "fig7",
+		"the phase ledger telescopes exactly: per-access phase sums equal measured end-to-end latency, zero mismatches across every attributed cell",
+		func(r *report.Report) (bool, string) {
+			cells, mismatches := 0, uint64(0)
+			for _, t := range r.Tables {
+				for _, s := range t.Series {
+					for _, a := range s.Attrib {
+						if a == nil {
+							continue
+						}
+						cells++
+						mismatches += a.Mismatches
+					}
+				}
+			}
+			if cells == 0 {
+				return false, "attribution section present but no cell carries a summary"
+			}
+			return mismatches == 0, fmt.Sprintf("%d attributed cells, %d mismatches", cells, mismatches)
+		})
+	addAttrib("attrib.swq-overhead-is-queue-wait", "fig7",
+		"SWQ management overhead is descriptor queue wait, not context-switch time: at 1us the single-thread cell blames over half its latency on queue_wait while switch stays under 5% at every load",
+		func(r *report.Report) (bool, string) {
+			s := r.Table("fig7").FindSeries("swqueue 1us")
+			first, _ := endAttribs(s)
+			if first == nil {
+				return false, "swqueue 1us has no attributed cells"
+			}
+			qw := phaseFrac(first, "queue_wait")
+			if !(qw >= 0.5) {
+				return false, fmt.Sprintf("queue_wait %.0f%% at the first cell (want >= 50%%)", qw*100)
+			}
+			for i, a := range s.Attrib {
+				if a == nil {
+					continue
+				}
+				if sw := phaseFrac(a, "switch"); sw > 0.05 {
+					return false, fmt.Sprintf("switch %.0f%% at x=%g (want <= 5%% everywhere)", sw*100, float64(s.X[i]))
+				}
+			}
+			return true, fmt.Sprintf("queue_wait %.0f%% single-threaded; switch <= 5%% at every thread count", qw*100)
+		})
+	addAttrib("attrib.swq-load-shift", "fig7",
+		"as load rises past the core count, SWQ blame shifts out of the descriptor queue into completion wait (threads parked awaiting CQ wakeups): queue_wait's share falls while completion_wait's grows past 35%",
+		func(r *report.Report) (bool, string) {
+			first, last := endAttribs(r.Table("fig7").FindSeries("swqueue 1us"))
+			if first == nil || first == last {
+				return false, "swqueue 1us needs attributed cells at two loads"
+			}
+			qw0, qw1 := phaseFrac(first, "queue_wait"), phaseFrac(last, "queue_wait")
+			cw0, cw1 := phaseFrac(first, "completion_wait"), phaseFrac(last, "completion_wait")
+			detail := fmt.Sprintf("queue_wait %.0f%% -> %.0f%%, completion_wait %.0f%% -> %.0f%%",
+				qw0*100, qw1*100, cw0*100, cw1*100)
+			ok := qw1 < qw0 && cw1 > cw0 && cw1 >= 0.35
+			return ok, detail
+		})
+	addAttrib("attrib.prefetch-transit-dominated", "fig7",
+		"under the LFB knee the prefetch path is transit-dominated: at 1us and one thread, link and chip-queue transit is the dominant phase with over 60% of latency",
+		func(r *report.Report) (bool, string) {
+			first, _ := endAttribs(r.Table("fig7").FindSeries("prefetch 1us"))
+			if first == nil {
+				return false, "prefetch 1us has no attributed cells"
+			}
+			ph, frac := first.DominantPhase()
+			return ph == "transit" && frac >= 0.6,
+				fmt.Sprintf("dominant phase %s at %.0f%% (want transit >= 60%%)", ph, frac*100)
+		})
+	addAttrib("attrib.mlp-transit-dominated", "fig6",
+		"prefetch at high MLP starts transit-dominated: the single-thread 4-read cell blames most of its latency on transit, not device service",
+		func(r *report.Report) (bool, string) {
+			first, _ := endAttribs(r.Table("fig6").FindSeries("4-read"))
+			if first == nil {
+				return false, "4-read has no attributed cells"
+			}
+			ph, frac := first.DominantPhase()
+			return ph == "transit" && frac >= 0.55,
+				fmt.Sprintf("dominant phase %s at %.0f%% (want transit >= 55%%)", ph, frac*100)
+		})
+	addAttrib("attrib.oversubscribed-completion-wait", "fig6",
+		"past the LFB knee oversubscribed threads pile into completion wait: the highest-thread 4-read cell's dominant phase is completion_wait with over 45% of latency",
+		func(r *report.Report) (bool, string) {
+			_, last := endAttribs(r.Table("fig6").FindSeries("4-read"))
+			if last == nil {
+				return false, "4-read has no attributed cells"
+			}
+			ph, frac := last.DominantPhase()
+			return ph == "completion_wait" && frac >= 0.45,
+				fmt.Sprintf("dominant phase %s at %.0f%% (want completion_wait >= 45%%)", ph, frac*100)
+		})
+
 	return cs
+}
+
+// requiresAttribution gates a claim on the report carrying a latency
+// attribution section; only -attrib sweeps do.
+func requiresAttribution(r *report.Report) string {
+	if r.Attribution == nil {
+		return "no attribution section in report (rerun with -attrib)"
+	}
+	return ""
+}
+
+// phaseFrac returns the share of a cell's summed end-to-end latency
+// blamed on one phase, NaN when the cell is unattributed.
+func phaseFrac(a *report.AttribSummary, phase string) float64 {
+	if a == nil || a.TotalPs <= 0 {
+		return math.NaN()
+	}
+	return float64(a.PhasePs(phase)) / float64(a.TotalPs)
+}
+
+// endAttribs returns the lowest- and highest-x attributed cells of a
+// series (both nil when none are attributed; identical when only one
+// cell is).
+func endAttribs(s *report.Series) (first, last *report.AttribSummary) {
+	if s == nil {
+		return nil, nil
+	}
+	for _, a := range s.Attrib {
+		if a == nil {
+			continue
+		}
+		if first == nil {
+			first = a
+		}
+		last = a
+	}
+	return first, last
 }
 
 // appPeaksIn asserts every Fig 10 application series peaks in [lo, hi].

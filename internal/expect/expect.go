@@ -36,6 +36,11 @@ type Check struct {
 	Tables []string
 	// Claim is the paper's prose (quoted or paraphrased).
 	Claim string
+	// Requires optionally gates the claim on a report capability beyond
+	// table presence (e.g. an attribution section, which only -attrib
+	// sweeps carry). It returns "" when the report qualifies, or a short
+	// reason that becomes the Skip verdict's detail.
+	Requires func(r *report.Report) string
 	// Eval runs the assertion, returning pass/fail and a measured
 	// detail string for the verdict.
 	Eval func(r *report.Report) (bool, string)
@@ -64,6 +69,9 @@ func Evaluate(r *report.Report, checks []Check) []Verdict {
 		if missing != "" {
 			v.Status = Skip
 			v.Detail = fmt.Sprintf("table %s absent from report", missing)
+		} else if reason := requires(c, r); reason != "" {
+			v.Status = Skip
+			v.Detail = reason
 		} else if ok, detail := c.Eval(r); ok {
 			v.Status = Pass
 			v.Detail = detail
@@ -74,6 +82,14 @@ func Evaluate(r *report.Report, checks []Check) []Verdict {
 		out = append(out, v)
 	}
 	return out
+}
+
+// requires evaluates a check's optional capability gate.
+func requires(c Check, r *report.Report) string {
+	if c.Requires == nil {
+		return ""
+	}
+	return c.Requires(r)
 }
 
 // Count tallies verdicts by status.

@@ -127,6 +127,47 @@ func TestEvaluateSkipsMissingTables(t *testing.T) {
 	}
 }
 
+func TestEvaluateSkipsUnmetRequires(t *testing.T) {
+	r := tbl("fig3", map[string][][2]float64{
+		"1us": curve([2]float64{1, 0.5}, [2]float64{2, 1.0}),
+	})
+	checks := []Check{
+		{ID: "gated", Tables: []string{"fig3"}, Claim: "c",
+			Requires: func(r *report.Report) string { return "capability absent" },
+			Eval: func(r *report.Report) (bool, string) {
+				t.Fatal("evaluated a claim whose requirement is unmet")
+				return false, ""
+			}},
+		{ID: "open", Tables: []string{"fig3"}, Claim: "c",
+			Requires: func(r *report.Report) string { return "" },
+			Eval:     func(r *report.Report) (bool, string) { return true, "ok" }},
+	}
+	vs := Evaluate(r, checks)
+	if vs[0].Status != Skip || vs[0].Detail != "capability absent" {
+		t.Fatalf("gated claim verdict = %+v", vs[0])
+	}
+	if vs[1].Status != Pass {
+		t.Fatalf("satisfied-requirement claim verdict = %+v", vs[1])
+	}
+}
+
+func TestAttributionClaimsSkipWithoutSection(t *testing.T) {
+	// A plain report (no attribution section) must skip, never fail,
+	// every attribution claim even when its tables are present.
+	r := tbl("fig7", map[string][][2]float64{
+		"swqueue 1us":  curve([2]float64{1, 0.3}, [2]float64{16, 0.5}),
+		"prefetch 1us": curve([2]float64{1, 0.4}, [2]float64{16, 0.9}),
+	})
+	for _, v := range Evaluate(r, Claims()) {
+		if strings.HasPrefix(v.ID, "attrib.") && v.ID != "attrib.mlp-transit-dominated" &&
+			v.ID != "attrib.oversubscribed-completion-wait" {
+			if v.Status != Skip || !strings.Contains(v.Detail, "attribution") {
+				t.Errorf("%s on a plain report: %s %q (want Skip naming attribution)", v.ID, v.Status, v.Detail)
+			}
+		}
+	}
+}
+
 func TestClaimsAreWellFormed(t *testing.T) {
 	seen := map[string]bool{}
 	for _, c := range Claims() {

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func attribSuite() Suite {
+	s := Quick()
+	s.Iterations = 300
+	s.AppLookups = 100
+	s.Threads = []int{1, 4}
+	s.Base.Attribution = true
+	return s
+}
+
+// TestAttributionParallelByteIdentical extends the determinism gate to
+// latency attribution: a -attrib sweep (with the flight recorder also
+// on, so the per-window phase columns are exercised) must produce
+// byte-identical reports serially and under a worker pool. This is
+// what lets -attrib ride the parallel path and the result cache.
+func TestAttributionParallelByteIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		s := attribSuite()
+		s.Base.MetricsWindow = 10 * sim.Microsecond
+		if workers > 0 {
+			s.Exec = NewExec(workers)
+			defer s.Exec.Close()
+		}
+		b, err := s.Report(RunPlan(PlanFor(s, "3"), nil)).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	base := run(0) // direct serial path, no executor
+	for _, want := range []string{`"attribution"`, `"attrib"`, `"phase_names"`, `"queue_wait"`} {
+		if !bytes.Contains(base, []byte(want)) {
+			t.Fatalf("attribution sweep report lacks %s", want)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); !bytes.Equal(got, base) {
+			t.Errorf("parallel=%d attribution report differs from serial (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestAttributionChangesOnlyItsOwnSection pins the observational
+// contract at the artifact level: a sweep with attribution enabled,
+// after deleting the attribution block and every per-cell attrib
+// entry, is byte-identical to the same sweep without attribution. No
+// measurement, diagnostic, or formatting byte moves.
+func TestAttributionChangesOnlyItsOwnSection(t *testing.T) {
+	plain := attribSuite()
+	plain.Base.Attribution = false
+	plainRep := plain.Report(RunPlan(PlanFor(plain, "3"), nil))
+
+	with := attribSuite()
+	withRep := with.Report(RunPlan(PlanFor(with, "3"), nil))
+	if err := withRep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if withRep.Attribution == nil {
+		t.Fatal("attribution sweep produced no attribution block")
+	}
+	cells := 0
+	for _, tb := range withRep.Tables {
+		for _, sr := range tb.Series {
+			for _, a := range sr.Attrib {
+				if a == nil {
+					continue
+				}
+				cells++
+				if a.Mismatches != 0 {
+					t.Errorf("cell %q: %d attribution mismatches", a.Label, a.Mismatches)
+				}
+			}
+			sr.Attrib = nil
+		}
+	}
+	if cells == 0 {
+		t.Fatal("attribution sweep attributed no cells")
+	}
+	withRep.Attribution = nil
+
+	got, err := withRep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plainRep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("stripped attribution report differs from plain report (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}

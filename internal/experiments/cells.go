@@ -406,6 +406,7 @@ func resolve(cells []pendingCell) {
 			c.series.Add(c.x, r.NormalizedTo(b.Measurement))
 		}
 		c.series.AttachMetrics(r.Series)
+		c.series.AttachAttrib(r.Attrib)
 		if c.post != nil {
 			c.post(r)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -25,6 +26,13 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 			MaxWindows: telemetry.EffectiveMaxWindows(s.Base.MetricsMaxWindows),
 		}
 	}
+	var at *report.AttributionMeta
+	if s.Base.Attribution {
+		at = &report.AttributionMeta{
+			Version: report.AttributionVersion,
+			Phases:  attrib.Names(),
+		}
+	}
 	return &report.Report{
 		Schema:   report.SchemaName,
 		Version:  report.SchemaVersion,
@@ -42,7 +50,8 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 			MLPLevels:     append([]int(nil), mlpLevels...),
 			KroneckerSeed: KroneckerSeed,
 		},
-		Timeseries: ts,
-		Tables:     report.FromTables(tables),
+		Timeseries:  ts,
+		Attribution: at,
+		Tables:      report.FromTables(tables),
 	}
 }

@@ -11,6 +11,7 @@
 package hostmem
 
 import (
+	"repro/internal/attrib"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -29,6 +30,12 @@ type Descriptor struct {
 	// descriptor so the device side can stamp fetch/serve/completion
 	// edges. The zero Span (tracing disabled) is a no-op.
 	Span trace.Span
+
+	// Attrib is the latency-attribution ledger riding along with the
+	// descriptor so the device side can mark phase boundaries (fetch,
+	// serve, data landing, completion posting). Nil (attribution
+	// disabled) makes every mark a no-op.
+	Attrib *attrib.Access
 }
 
 // Completion is one completion-queue entry; the device guarantees it is
@@ -67,25 +74,32 @@ func NewRequestQueue() *RequestQueue {
 // Push appends a read descriptor for the given device address, stamping
 // it with the submission time, and returns its ID.
 func (q *RequestQueue) Push(addr, target uint64, now sim.Time) uint64 {
-	return q.push(addr, target, now, false, trace.Span{})
+	return q.push(addr, target, now, false, trace.Span{}, nil)
 }
 
 // PushSpan is Push carrying an access-lifecycle trace span, so the
 // device side can stamp fetch/serve/completion edges on it.
 func (q *RequestQueue) PushSpan(addr, target uint64, now sim.Time, sp trace.Span) uint64 {
-	return q.push(addr, target, now, false, sp)
+	return q.push(addr, target, now, false, sp, nil)
+}
+
+// PushTracked is PushSpan additionally carrying a latency-attribution
+// ledger, so the device side can mark phase boundaries. Either or both
+// observers may be zero/nil.
+func (q *RequestQueue) PushTracked(addr, target uint64, now sim.Time, sp trace.Span, aw *attrib.Access) uint64 {
+	return q.push(addr, target, now, false, sp, aw)
 }
 
 // PushWrite appends a write descriptor (§VII extension): the device
 // will fetch the line at target from host memory and store it at addr.
 func (q *RequestQueue) PushWrite(addr, target uint64, now sim.Time) uint64 {
-	return q.push(addr, target, now, true, trace.Span{})
+	return q.push(addr, target, now, true, trace.Span{}, nil)
 }
 
-func (q *RequestQueue) push(addr, target uint64, now sim.Time, write bool, sp trace.Span) uint64 {
+func (q *RequestQueue) push(addr, target uint64, now sim.Time, write bool, sp trace.Span, aw *attrib.Access) uint64 {
 	id := q.nextID
 	q.nextID++
-	q.pending = append(q.pending, Descriptor{ID: id, Addr: addr, Target: target, Write: write, Submitted: now, Span: sp})
+	q.pending = append(q.pending, Descriptor{ID: id, Addr: addr, Target: target, Write: write, Submitted: now, Span: sp, Attrib: aw})
 	q.submitted++
 	if len(q.pending) > q.maxDepth {
 		q.maxDepth = len(q.pending)

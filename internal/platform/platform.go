@@ -187,6 +187,16 @@ type Config struct {
 	// result-cache cell keys.
 	MetricsSink telemetry.Sink
 
+	// Attribution enables the latency-attribution ledger: every access
+	// is decomposed into the internal/attrib phase taxonomy (issue,
+	// queue wait, transit, device, completion wait, switch, retry,
+	// slop) with exact picosecond accounting, surfaced as a per-cell
+	// summary on core.Result. Like the flight recorder it is
+	// observational (it never changes a measurement), deterministic
+	// under parallel execution, and participates in result caching —
+	// attribution-enabled cells never collide with plain ones.
+	Attribution bool
+
 	// DescriptorBytes is the size of one software-queue request
 	// descriptor: "the address to read, and the target address where
 	// the response data is to be stored" (§IV-A) — two 8-byte words.
@@ -277,6 +287,12 @@ type Config struct {
 	// RetryBackoffFactor multiplies the timeout on each successive
 	// retry of one access (exponential backoff).
 	RetryBackoffFactor float64
+
+	// RetryTimeoutCap bounds the backed-off per-attempt timeout: once
+	// the exponential growth reaches the cap, later attempts use the
+	// cap. Zero (the default) leaves the backoff uncapped — the
+	// historical behavior.
+	RetryTimeoutCap sim.Time
 
 	// MaxRetries bounds the retries per access; past it the access is
 	// abandoned and the host delivers a zero-filled line (graceful
@@ -445,15 +461,23 @@ func (c Config) EffectiveAccessTimeout() sim.Time {
 
 // RetryTimeout returns the timeout for the attempt-th try of one access
 // (attempt 0 is the initial issue), growing by RetryBackoffFactor per
-// retry.
+// retry and clamped at RetryTimeoutCap when one is configured.
 func (c Config) RetryTimeout(attempt int) sim.Time {
 	t := float64(c.EffectiveAccessTimeout())
 	f := c.RetryBackoffFactor
 	if f < 1 {
 		f = 1
 	}
+	cap := float64(c.RetryTimeoutCap)
 	for i := 0; i < attempt; i++ {
 		t *= f
+		if cap > 0 && t >= cap {
+			t = cap
+			break
+		}
+	}
+	if cap > 0 && t > cap {
+		t = cap
 	}
 	return sim.Time(t)
 }
@@ -530,6 +554,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("platform: retry backoff factor %v must be >= 1", c.RetryBackoffFactor)
 	case c.MaxRetries < 0:
 		return fmt.Errorf("platform: max retries %d must be non-negative", c.MaxRetries)
+	case c.RetryTimeoutCap < 0:
+		return fmt.Errorf("platform: retry timeout cap %v must be non-negative", c.RetryTimeoutCap)
 	case c.PCIeReplayPenalty < 0:
 		return fmt.Errorf("platform: PCIe replay penalty %v must be non-negative", c.PCIeReplayPenalty)
 	case c.CQBackpressureDelay < 0:

@@ -221,3 +221,75 @@ func TestRecoveryTimeouts(t *testing.T) {
 		t.Errorf("auto timeout %v not above the %v latency tail", d.EffectiveAccessTimeout(), tail)
 	}
 }
+
+// TestRetryTimeoutBackoffTable pins the per-attempt timeout schedule the
+// recovery paths rely on: exponential growth by RetryBackoffFactor,
+// monotone non-decreasing in the attempt number, honoring
+// RetryTimeoutCap once configured (including a cap below the base
+// timeout), and flooring sub-unity factors at constant backoff.
+func TestRetryTimeoutBackoffTable(t *testing.T) {
+	const us = sim.Microsecond
+	cases := []struct {
+		name    string
+		base    sim.Time
+		factor  float64
+		cap     sim.Time
+		want    []sim.Time // expected RetryTimeout(0..len-1)
+		capped  bool       // schedule must reach and then hold the cap
+		holdsAt sim.Time
+	}{
+		{
+			name: "uncapped doubling", base: 4 * us, factor: 2,
+			want: []sim.Time{4 * us, 8 * us, 16 * us, 32 * us, 64 * us},
+		},
+		{
+			name: "cap hit mid-schedule", base: 4 * us, factor: 2, cap: 20 * us,
+			want:   []sim.Time{4 * us, 8 * us, 16 * us, 20 * us, 20 * us, 20 * us},
+			capped: true, holdsAt: 20 * us,
+		},
+		{
+			name: "cap below base pins every attempt", base: 8 * us, factor: 2, cap: 3 * us,
+			want:   []sim.Time{3 * us, 3 * us, 3 * us},
+			capped: true, holdsAt: 3 * us,
+		},
+		{
+			name: "unit factor is constant", base: 6 * us, factor: 1,
+			want: []sim.Time{6 * us, 6 * us, 6 * us, 6 * us},
+		},
+		{
+			name: "sub-unity factor floors to constant", base: 6 * us, factor: 0.25,
+			want: []sim.Time{6 * us, 6 * us, 6 * us},
+		},
+		{
+			name: "gentle factor stays monotone", base: 10 * us, factor: 1.5, cap: 30 * us,
+			want:   []sim.Time{10 * us, 15 * us, 22500 * sim.Nanosecond, 30 * us, 30 * us},
+			capped: true, holdsAt: 30 * us,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default()
+			c.AccessTimeout = tc.base
+			c.RetryBackoffFactor = tc.factor
+			c.RetryTimeoutCap = tc.cap
+			prev := sim.Time(0)
+			for attempt, want := range tc.want {
+				got := c.RetryTimeout(attempt)
+				if got != want {
+					t.Errorf("RetryTimeout(%d) = %v, want %v", attempt, got, want)
+				}
+				if got < prev {
+					t.Errorf("RetryTimeout(%d) = %v < RetryTimeout(%d) = %v: backoff not monotone",
+						attempt, got, attempt-1, prev)
+				}
+				if tc.cap > 0 && got > tc.cap {
+					t.Errorf("RetryTimeout(%d) = %v exceeds cap %v", attempt, got, tc.cap)
+				}
+				prev = got
+			}
+			if tc.capped && prev != tc.holdsAt {
+				t.Errorf("schedule tail = %v, want held at cap %v", prev, tc.holdsAt)
+			}
+		})
+	}
+}

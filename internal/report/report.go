@@ -77,7 +77,12 @@ type Report struct {
 	// without telemetry stay byte-identical to the pre-telemetry
 	// schema.
 	Timeseries *TimeseriesMeta `json:"timeseries,omitempty"`
-	Tables     []*Table        `json:"tables"`
+	// Attribution describes the latency-attribution taxonomy when the
+	// sweep ran with -attrib; nil (and omitted) otherwise, so reports
+	// without attribution stay byte-identical to the pre-attribution
+	// schema.
+	Attribution *AttributionMeta `json:"attribution,omitempty"`
+	Tables      []*Table         `json:"tables"`
 }
 
 // TimeseriesVersion is bumped on any incompatible change to the
@@ -89,6 +94,18 @@ type TimeseriesMeta struct {
 	Version    int     `json:"version"`
 	WindowUs   float64 `json:"window_us"`
 	MaxWindows int     `json:"max_windows"`
+}
+
+// AttributionVersion is bumped on any incompatible change to the
+// per-cell AttribSummary layout below or to the phase taxonomy.
+const AttributionVersion = 1
+
+// AttributionMeta stamps the phase taxonomy of a -attrib sweep: the
+// canonical slug order every per-cell summary (and every per-window
+// phase column) follows.
+type AttributionMeta struct {
+	Version int      `json:"version"`
+	Phases  []string `json:"phases"`
 }
 
 // Build stamps the environment that produced the report. Wall-clock
@@ -180,13 +197,79 @@ type Table struct {
 // entries for cells measured without an engine). Metrics, present only
 // in -metrics sweeps, is likewise index-aligned and carries each
 // cell's flight-recorder time series (null for cells that record none,
-// e.g. DRAM baselines).
+// e.g. DRAM baselines). Attrib, present only in -attrib sweeps, is
+// likewise index-aligned and carries each cell's latency-attribution
+// summary (null for cells measured without an engine).
 type Series struct {
-	Label   string        `json:"label"`
-	X       []Float       `json:"x"`
-	Y       []Float       `json:"y"`
-	Diags   []*Diag       `json:"diags,omitempty"`
-	Metrics []*TimeSeries `json:"metrics,omitempty"`
+	Label   string           `json:"label"`
+	X       []Float          `json:"x"`
+	Y       []Float          `json:"y"`
+	Diags   []*Diag          `json:"diags,omitempty"`
+	Metrics []*TimeSeries    `json:"metrics,omitempty"`
+	Attrib  []*AttribSummary `json:"attrib,omitempty"`
+}
+
+// AttribSummary mirrors stats.AttribSummary: one cell's per-phase
+// latency breakdown. Sums stay in exact integer picoseconds — the
+// phase sums total exactly total_ps (Validate re-checks it), so report
+// consumers can rebuild the waterfall without rounding drift.
+type AttribSummary struct {
+	Label      string     `json:"label"`
+	Phases     []PhaseSum `json:"phases"`
+	Accesses   uint64     `json:"accesses"`
+	TotalPs    int64      `json:"total_ps"`
+	Mismatches uint64     `json:"mismatches"`
+}
+
+// PhaseSum is one phase's aggregate within a cell.
+type PhaseSum struct {
+	Phase string `json:"phase"`
+	SumPs int64  `json:"sum_ps"`
+	Count uint64 `json:"count"`
+	P50Ns Float  `json:"p50_ns"`
+	P99Ns Float  `json:"p99_ns"`
+	MaxNs Float  `json:"max_ns"`
+}
+
+// PhasePs returns the picosecond total for the named phase (0 if the
+// summary is nil or the phase is absent).
+func (a *AttribSummary) PhasePs(phase string) int64 {
+	if a == nil {
+		return 0
+	}
+	for _, p := range a.Phases {
+		if p.Phase == phase {
+			return p.SumPs
+		}
+	}
+	return 0
+}
+
+// MeanNs returns the mean end-to-end access window in nanoseconds
+// (NaN when no accesses closed into the summary).
+func (a *AttribSummary) MeanNs() float64 {
+	if a == nil || a.Accesses == 0 {
+		return math.NaN()
+	}
+	return float64(a.TotalPs) / 1e3 / float64(a.Accesses)
+}
+
+// DominantPhase returns the phase with the largest total and its share
+// of total_ps; ties break toward the earlier phase in taxonomy order.
+func (a *AttribSummary) DominantPhase() (string, float64) {
+	if a == nil || a.TotalPs <= 0 {
+		return "", 0
+	}
+	best := -1
+	for i, p := range a.Phases {
+		if best < 0 || p.SumPs > a.Phases[best].SumPs {
+			best = i
+		}
+	}
+	if best < 0 {
+		return "", 0
+	}
+	return a.Phases[best].Phase, float64(a.Phases[best].SumPs) / float64(a.TotalPs)
 }
 
 // TimeSeries mirrors stats.TimeSeries in report units: microseconds
@@ -219,6 +302,13 @@ type TimeSeries struct {
 	CQMax        []int   `json:"cq_max"`
 	RunnableMean []Float `json:"runnable_mean"`
 	RunnableMax  []int   `json:"runnable_max"`
+
+	// Per-window latency-attribution phase columns, present only when
+	// the sweep ran with both -metrics and -attrib: PhaseNames is the
+	// taxonomy order and Phases[w][p] the exact picoseconds windows w's
+	// completed accesses spent in phase p.
+	PhaseNames []string  `json:"phase_names,omitempty"`
+	Phases     [][]int64 `json:"phases,omitempty"`
 
 	TotalStarts    uint64 `json:"total_starts"`
 	TotalCompletes uint64 `json:"total_completes"`
@@ -290,6 +380,11 @@ func FromTables(tables []*stats.Table) []*Table {
 					rs.Metrics = append(rs.Metrics, fromTimeSeries(ts))
 				}
 			}
+			if s.HasAttrib() {
+				for _, a := range s.Attrib {
+					rs.Attrib = append(rs.Attrib, fromAttrib(a))
+				}
+			}
 			rt.Series = append(rt.Series, rs)
 		}
 		out = append(out, rt)
@@ -338,6 +433,9 @@ func fromTimeSeries(ts *stats.TimeSeries) *TimeSeries {
 		RunnableMean: toFloats(ts.RunnableMean),
 		RunnableMax:  append([]int(nil), ts.RunnableMax...),
 
+		PhaseNames: append([]string(nil), ts.PhaseNames...),
+		Phases:     copyPhaseRows(ts.Phases),
+
 		TotalStarts:    ts.TotalStarts,
 		TotalCompletes: ts.TotalCompletes,
 		TotalRetries:   ts.TotalRetries,
@@ -348,6 +446,43 @@ func fromTimeSeries(ts *stats.TimeSeries) *TimeSeries {
 		TotalP99Ns:     Float(ts.TotalP99Ns),
 		TotalP999Ns:    Float(ts.TotalP999Ns),
 	}
+}
+
+// copyPhaseRows deep-copies the per-window phase matrix.
+func copyPhaseRows(rows [][]int64) [][]int64 {
+	if rows == nil {
+		return nil
+	}
+	out := make([][]int64, len(rows))
+	for i, row := range rows {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
+
+// fromAttrib converts a stats.AttribSummary to the report layout. A
+// nil input stays nil — the cell recorded no attribution.
+func fromAttrib(a *stats.AttribSummary) *AttribSummary {
+	if a == nil {
+		return nil
+	}
+	out := &AttribSummary{
+		Label:      a.Label,
+		Accesses:   a.Accesses,
+		TotalPs:    a.TotalPs,
+		Mismatches: a.Mismatches,
+	}
+	for _, p := range a.Phases {
+		out.Phases = append(out.Phases, PhaseSum{
+			Phase: p.Phase,
+			SumPs: p.SumPs,
+			Count: p.Count,
+			P50Ns: Float(p.P50Ns),
+			P99Ns: Float(p.P99Ns),
+			MaxNs: Float(p.MaxNs),
+		})
+	}
+	return out
 }
 
 // Table returns the table with the given ID, or nil.
@@ -514,6 +649,23 @@ func (r *Report) Validate() error {
 						t.ID, s.Label, mi, err)
 				}
 			}
+			if s.Attrib != nil && len(s.Attrib) != len(s.X) {
+				return fmt.Errorf("report: table %q series %q: %d attrib entries for %d cells",
+					t.ID, s.Label, len(s.Attrib), len(s.X))
+			}
+			for ai, a := range s.Attrib {
+				if a == nil {
+					continue
+				}
+				if r.Attribution == nil {
+					return fmt.Errorf("report: table %q series %q cell %d has attribution but the report has no attribution block",
+						t.ID, s.Label, ai)
+				}
+				if err := a.validate(); err != nil {
+					return fmt.Errorf("report: table %q series %q cell %d: %v",
+						t.ID, s.Label, ai, err)
+				}
+			}
 			for i, x := range s.X {
 				if x.IsNaN() {
 					return fmt.Errorf("report: table %q series %q: x[%d] is null", t.ID, s.Label, i)
@@ -524,6 +676,46 @@ func (r *Report) Validate() error {
 	if r.Timeseries != nil && r.Timeseries.Version != TimeseriesVersion {
 		return fmt.Errorf("report: timeseries version %d, want %d",
 			r.Timeseries.Version, TimeseriesVersion)
+	}
+	if r.Attribution != nil {
+		if r.Attribution.Version != AttributionVersion {
+			return fmt.Errorf("report: attribution version %d, want %d",
+				r.Attribution.Version, AttributionVersion)
+		}
+		if len(r.Attribution.Phases) == 0 {
+			return fmt.Errorf("report: attribution block has no phases")
+		}
+	}
+	return nil
+}
+
+// validate checks one cell's attribution summary: stable phase slugs,
+// no negatives, and the exactness invariant that phase sums total
+// total_ps.
+func (a *AttribSummary) validate() error {
+	if a.TotalPs < 0 {
+		return fmt.Errorf("attrib: negative total %d ps", a.TotalPs)
+	}
+	seen := map[string]bool{}
+	var sum int64
+	for _, p := range a.Phases {
+		if p.Phase == "" {
+			return fmt.Errorf("attrib: unnamed phase")
+		}
+		if seen[p.Phase] {
+			return fmt.Errorf("attrib: duplicate phase %q", p.Phase)
+		}
+		seen[p.Phase] = true
+		if p.SumPs < 0 {
+			return fmt.Errorf("attrib: phase %q has negative sum %d ps", p.Phase, p.SumPs)
+		}
+		if p.Count > a.Accesses {
+			return fmt.Errorf("attrib: phase %q count %d exceeds %d accesses", p.Phase, p.Count, a.Accesses)
+		}
+		sum += p.SumPs
+	}
+	if sum != a.TotalPs {
+		return fmt.Errorf("attrib: phase sums %d ps != total %d ps", sum, a.TotalPs)
 	}
 	return nil
 }
@@ -563,6 +755,19 @@ func (ts *TimeSeries) validate() error {
 		if counts[name] != n {
 			return fmt.Errorf("timeseries: %d %s windows for %d starts windows", counts[name], name, n)
 		}
+	}
+	if len(ts.PhaseNames) > 0 {
+		if len(ts.Phases) != n {
+			return fmt.Errorf("timeseries: %d phase windows for %d starts windows", len(ts.Phases), n)
+		}
+		for w, row := range ts.Phases {
+			if len(row) != len(ts.PhaseNames) {
+				return fmt.Errorf("timeseries: phase window %d has %d columns for %d phase names",
+					w, len(row), len(ts.PhaseNames))
+			}
+		}
+	} else if len(ts.Phases) != 0 {
+		return fmt.Errorf("timeseries: %d phase windows but no phase names", len(ts.Phases))
 	}
 	return nil
 }

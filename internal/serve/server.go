@@ -79,6 +79,11 @@ type RunRequest struct {
 	// MetricsWindowUs overrides the recorder window span in simulated
 	// microseconds (default 10). Requires Metrics.
 	MetricsWindowUs float64 `json:"metrics_window_us,omitempty"`
+	// Attribution enables the per-phase latency ledger for every
+	// measured run: the report gains an attribution section plus a
+	// per-cell phase breakdown (`kurec blame` renders it). Opt-in and
+	// observational — a plain request's report stays byte-identical.
+	Attribution bool `json:"attribution,omitempty"`
 }
 
 // suite materializes the request's experiment suite.
@@ -123,6 +128,7 @@ func (r RunRequest) suite() (experiments.Suite, error) {
 		}
 		s.Base.MetricsWindow = sim.FromNanoseconds(windowUs * 1e3)
 	}
+	s.Base.Attribution = r.Attribution
 	return s, nil
 }
 

@@ -366,6 +366,56 @@ func TestServedMetricsReportMatchesCLI(t *testing.T) {
 	}
 }
 
+// TestServedAttributionReportMatchesCLI: an attribution-enabled
+// request's served report — attribution section, per-cell phase
+// summaries and all — must equal what the experiments package produces
+// directly for the same suite.
+func TestServedAttributionReportMatchesCLI(t *testing.T) {
+	srv, err := New(Config{Parallel: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := tinyRequest()
+	req.Attribution = true
+	resp := post(t, ts, req)
+	id := decode[map[string]string](t, resp)["id"]
+	st := pollDone(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (error %q)", st.State, st.Error)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(got, []byte(`"attribution"`)) {
+		t.Fatal("served attribution report has no attribution section")
+	}
+
+	suite, err := req.suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := req.plan(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := suite.Report(experiments.RunPlan(plan, nil)).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("served attribution report differs from direct report (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
 // TestMetricsRequestValidation: a window override without metrics is
 // rejected at submit time.
 func TestMetricsRequestValidation(t *testing.T) {

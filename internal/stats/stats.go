@@ -97,13 +97,15 @@ type RunDiag struct {
 // diagnostics; it is index-aligned with X/Y and nil-padded for points
 // added without diagnostics. Metrics likewise holds the per-point
 // flight-recorder time series when the run recorded one, attached with
-// AttachMetrics after the point is added.
+// AttachMetrics after the point is added, and Attrib the per-point
+// latency-attribution summary, attached with AttachAttrib.
 type Series struct {
 	Label   string
 	X       []float64
 	Y       []float64
 	Diags   []*RunDiag
 	Metrics []*TimeSeries
+	Attrib  []*AttribSummary
 }
 
 // Add appends a point without diagnostics.
@@ -112,6 +114,7 @@ func (s *Series) Add(x, y float64) {
 	s.Y = append(s.Y, y)
 	s.Diags = append(s.Diags, nil)
 	s.Metrics = append(s.Metrics, nil)
+	s.Attrib = append(s.Attrib, nil)
 }
 
 // AddRun appends a measured point together with its run diagnostics.
@@ -120,6 +123,7 @@ func (s *Series) AddRun(x, y float64, d RunDiag) {
 	s.Y = append(s.Y, y)
 	s.Diags = append(s.Diags, &d)
 	s.Metrics = append(s.Metrics, nil)
+	s.Attrib = append(s.Attrib, nil)
 }
 
 // AttachMetrics attaches a flight-recorder series to the most recently
@@ -147,6 +151,26 @@ func (s *Series) HasDiags() bool {
 func (s *Series) HasMetrics() bool {
 	for _, ts := range s.Metrics {
 		if ts != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachAttrib attaches an attribution summary to the most recently
+// added point; a nil summary is a no-op, so callers can pass the run's
+// Attrib field unconditionally.
+func (s *Series) AttachAttrib(a *AttribSummary) {
+	if a == nil || len(s.Attrib) == 0 {
+		return
+	}
+	s.Attrib[len(s.Attrib)-1] = a
+}
+
+// HasAttrib reports whether any point carries an attribution summary.
+func (s *Series) HasAttrib() bool {
+	for _, a := range s.Attrib {
+		if a != nil {
 			return true
 		}
 	}

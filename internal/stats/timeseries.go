@@ -48,6 +48,14 @@ type TimeSeries struct {
 	RunnableMean []float64
 	RunnableMax  []int
 
+	// Attribution phase columns, present only when the run had both
+	// the flight recorder and the attribution ledger enabled.
+	// PhaseNames names the columns in taxonomy order; Phases[i] holds
+	// window i's per-phase picosecond sums (over accesses that closed
+	// in the window), index-aligned with PhaseNames.
+	PhaseNames []string
+	Phases     [][]int64
+
 	// Whole-run rollups. The percentile totals come from merging every
 	// window histogram (stats.Histogram.Merge), not from re-recording.
 	TotalStarts    uint64
@@ -111,6 +119,18 @@ func (ts *TimeSeries) Validate() error {
 		if c.len != n {
 			return fmt.Errorf("timeseries: %s has %d windows, starts has %d", c.name, c.len, n)
 		}
+	}
+	if len(ts.PhaseNames) > 0 {
+		if len(ts.Phases) != n {
+			return fmt.Errorf("timeseries: phases has %d windows, starts has %d", len(ts.Phases), n)
+		}
+		for i, row := range ts.Phases {
+			if len(row) != len(ts.PhaseNames) {
+				return fmt.Errorf("timeseries: phases window %d has %d columns, want %d", i, len(row), len(ts.PhaseNames))
+			}
+		}
+	} else if len(ts.Phases) != 0 {
+		return fmt.Errorf("timeseries: %d phase rows but no phase names", len(ts.Phases))
 	}
 	return nil
 }

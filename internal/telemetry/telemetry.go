@@ -105,6 +105,7 @@ type sealedWindow struct {
 	occInt  [NumGauges]float64
 	occMax  [NumGauges]int
 	hist    *stats.Histogram
+	phases  []int64 // attribution phase sums, ps; nil unless enabled
 }
 
 // Recorder accumulates one run's flight-recorder series. It is not
@@ -124,6 +125,11 @@ type Recorder struct {
 	seq       int
 	coalesced int
 	done      bool
+
+	// Attribution phase columns, present only when SetPhaseNames was
+	// called (the run had attribution enabled alongside the recorder).
+	phaseNames []string
+	phases     []int64 // current window's per-phase ps sums
 }
 
 // DefaultMaxWindows bounds the retained ring when the caller passes 0.
@@ -189,6 +195,15 @@ func (r *Recorder) sealWindow(end sim.Time) {
 		spanPs:  int64(end - r.curStart),
 		counts:  r.counts,
 		hist:    r.hist,
+	}
+	if len(r.phaseNames) > 0 {
+		// Every window carries a row (zero-filled when no access closed
+		// in it) so the exported columns stay index-aligned.
+		if r.phases == nil {
+			r.phases = make([]int64, len(r.phaseNames))
+		}
+		sw.phases = r.phases
+		r.phases = nil
 	}
 	for i := range r.gauges {
 		g := &r.gauges[i]
@@ -257,6 +272,14 @@ func (r *Recorder) coalesce() {
 				m.occMax[g] = b.occMax[g]
 			}
 		}
+		if a.phases != nil {
+			m.phases = a.phases
+			for pi, v := range b.phases {
+				m.phases[pi] += v
+			}
+		} else {
+			m.phases = b.phases
+		}
 		r.sealed[i] = m
 	}
 	// Zero the tail so the dropped halves release their histograms.
@@ -314,6 +337,26 @@ func (r *Recorder) Abandoned(at sim.Time, n int) {
 func (r *Recorder) Switches(at sim.Time, n int) {
 	r.advance(at)
 	r.counts[cSwitches] += uint64(n)
+}
+
+// SetPhaseNames declares the attribution phase columns the recorder
+// will carry: every sealed window then exports a per-phase picosecond
+// row index-aligned with these names. Call once, before recording.
+func (r *Recorder) SetPhaseNames(names []string) {
+	r.phaseNames = append([]string(nil), names...)
+}
+
+// PhaseSample adds one closed access's per-phase picosecond breakdown
+// to the current window (the window holding the access's close time).
+// ps must be index-aligned with the names given to SetPhaseNames.
+func (r *Recorder) PhaseSample(at sim.Time, ps []int64) {
+	r.advance(at)
+	if r.phases == nil {
+		r.phases = make([]int64, len(r.phaseNames))
+	}
+	for i := range r.phases {
+		r.phases[i] += ps[i]
+	}
 }
 
 // GaugeAdd moves gauge id by delta at sim-time at, closing out the
@@ -384,6 +427,10 @@ func (r *Recorder) series() *stats.TimeSeries {
 		RunnableMean: make([]float64, n),
 		RunnableMax:  make([]int, n),
 	}
+	if len(r.phaseNames) > 0 {
+		ts.PhaseNames = append([]string(nil), r.phaseNames...)
+		ts.Phases = make([][]int64, n)
+	}
 	rollup := stats.NewHistogram()
 	for i, sw := range r.sealed {
 		ts.Starts[i] = sw.counts[cStarted]
@@ -408,6 +455,12 @@ func (r *Recorder) series() *stats.TimeSeries {
 		ts.CQMax[i] = sw.occMax[GaugeCQ]
 		ts.RunnableMean[i] = sw.occInt[GaugeRunnable] / span
 		ts.RunnableMax[i] = sw.occMax[GaugeRunnable]
+
+		if ts.Phases != nil {
+			row := make([]int64, len(r.phaseNames))
+			copy(row, sw.phases)
+			ts.Phases[i] = row
+		}
 
 		ts.TotalStarts += sw.counts[cStarted]
 		ts.TotalCompletes += sw.counts[cFinished]
