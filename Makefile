@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-engine bench-baseline figures extensions examples cover clean serve sweep-par chaos
+.PHONY: all test race bench bench-engine bench-baseline figures fleet extensions examples cover clean serve sweep-par chaos
 
 all: test
 
@@ -36,6 +36,13 @@ figures:
 sweep-par:
 	$(GO) run ./cmd/killerusec -all -parallel $(shell nproc 2>/dev/null || sysctl -n hw.ncpu) -cachedir .kucache -outdir figures_csv
 
+# Cluster-scale fleet sweep: routing policies, arrival shapes, and
+# backend mechanisms vs fleet-merged tail latency, rendered with the
+# per-instance saturation view.
+fleet:
+	$(GO) run ./cmd/killerusec -fleet -json fleet_run.json
+	$(GO) run ./cmd/kurec fleet fleet_run.json -instances
+
 # Run the sweep service daemon on :8080 with crash recovery.
 serve:
 	$(GO) run ./cmd/kurecd -addr :8080 -journal kurecd.wal -cachedir .kucache
@@ -61,4 +68,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf figures_csv cover.out .kucache bench_engine.txt kurecd.wal kurecd.wal.reports
+	rm -rf figures_csv cover.out .kucache bench_engine.txt kurecd.wal kurecd.wal.reports fleet_run.json

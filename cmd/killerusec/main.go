@@ -9,6 +9,9 @@
 //	killerusec -fig 5 -iters 8000
 //	killerusec -table1           # the paper's Table I (taxonomy)
 //	killerusec -list             # list experiment IDs
+//	killerusec -plans            # per-id descriptions and aliases
+//	killerusec -fleet -quick     # cluster-scale fleet experiments
+//	killerusec -all -fleet -json r.json  # paper sweep + fleet tables
 //	killerusec -fig 4 -quick -trace fig4.json  # Perfetto trace of every run
 //	killerusec -all -quick -json BENCH_quick.json  # machine-readable run report
 //	killerusec -fig 7 -quick -cpuprofile cpu.pp    # pprof profile of the sweep
@@ -35,10 +38,11 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions")
+		fig      = flag.String("fig", "", "experiment to run (see -list): 2..9, 10, 10a..10d, ablations, extensions, cluster")
 		all      = flag.Bool("all", false, "run every paper experiment (figures + ablations)")
 		ext      = flag.Bool("ext", false, "run the beyond-the-paper extension experiments")
 		faults   = flag.Bool("faults", false, "run the fault-injection / recovery experiment family")
+		fleet    = flag.Bool("fleet", false, "run (or add, with -all/-ext) the cluster-scale fleet experiments")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		quick    = flag.Bool("quick", false, "reduced sweep (faster, coarser)")
 		iters    = flag.Int("iters", 0, "override microbenchmark iterations per core")
@@ -47,6 +51,7 @@ func main() {
 		replay   = flag.Bool("replay", true, "use the two-run record/replay methodology for applications")
 		table1   = flag.Bool("table1", false, "print the paper's Table I and exit")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		plans    = flag.Bool("plans", false, "list every runnable plan id with aliases and a one-line description, then exit")
 		outdir   = flag.String("outdir", "", "also write each table as <outdir>/<id>.csv")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event / Perfetto JSON trace of every measured run to this file")
 		jsonOut  = flag.String("json", "", "write a machine-readable run report (schema-versioned JSON) to this file; check it with `kurec check`")
@@ -96,8 +101,14 @@ func main() {
 		fmt.Println("paper:      2 3 4 5 6 7 8 9 10 10a 10b 10c 10d")
 		fmt.Println("ablations:  lfb chipq rule switch swqopts")
 		fmt.Println("extensions: kernelq smt writes membus tail ptrchase devices locality faults")
-		fmt.Println("families:   -all (paper) -ext (extensions) -faults (fault injection/recovery)")
+		fmt.Println("cluster:    cluster (alias: fleet)")
+		fmt.Println("families:   -all (paper) -ext (extensions) -faults (fault injection/recovery) -fleet (cluster)")
 		fmt.Println("modes:      -quick -csv -outdir <dir> -trace <file> (Perfetto trace) -json <file> (run report)")
+		fmt.Println("details:    -plans (per-id descriptions)")
+		return
+	}
+	if *plans {
+		fmt.Print(planListing())
 		return
 	}
 	if *table1 {
@@ -217,9 +228,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "killerusec: unknown experiment %q (try -list)\n", *fig)
 			os.Exit(2)
 		}
+	case *fleet:
+		// -fleet alone runs just the cluster experiments; combined with
+		// a family above it appends them (handled below).
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *fleet {
+		plan = append(plan, suite.FleetPlan()...)
 	}
 
 	meter := newProgressMeter(len(plan), *csv)
@@ -293,4 +310,18 @@ func runOne(s experiments.Suite, id string) []*stats.Table {
 // kurecd server resolves ids identically.
 func planOne(s experiments.Suite, id string) []experiments.Experiment {
 	return experiments.PlanFor(s, id)
+}
+
+// planListing renders the -plans output: every runnable id with its
+// aliases and one-line description, in registry order.
+func planListing() string {
+	var b strings.Builder
+	for _, p := range experiments.Plans() {
+		id := p.ID
+		if len(p.Aliases) > 0 {
+			id += " (" + strings.Join(p.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(&b, "%-28s %s\n", id, p.Desc)
+	}
+	return b.String()
 }

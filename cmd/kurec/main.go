@@ -17,6 +17,7 @@
 //	kurec top job-0003                         # live flight-recorder view of a kurecd job
 //	kurec metrics run.json -csv                # flatten a report's time series to CSV
 //	kurec blame run.json -top                  # per-phase latency blame per cell
+//	kurec fleet run.json -instances            # fleet cells + per-instance saturation
 //
 // Workloads: ubench, bfs, bloom, memcached, ptrchase.
 package main
@@ -57,6 +58,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "blame":
 		err = cmdBlame(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -68,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache|top|metrics|blame [flags]")
+	fmt.Fprintln(os.Stderr, "usage: kurec record|info|verify|trace|check|cache|top|metrics|blame|fleet [flags]")
 }
 
 // pickWorkload builds the named workload with CLI-scale parameters.

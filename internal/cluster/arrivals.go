@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Arrival shapes.
+const (
+	ShapePoisson  = "poisson"  // memoryless open-loop stream at RatePerSec
+	ShapeBursty   = "bursty"   // same mean rate compressed into on/off bursts
+	ShapeSaturate = "saturate" // every request at once: the capacity probe
+)
+
+// arrival is one request of the precomputed open-loop timeline.
+type arrival struct {
+	at  sim.Time
+	key uint64
+}
+
+// generateArrivals precomputes the full arrival timeline. Times and
+// keys come from independent seeded streams so changing the request
+// count leaves the early timeline identical, and the timeline is
+// strictly ordered because the exponential sampler never returns a
+// zero gap.
+func generateArrivals(cfg Config) []arrival {
+	keys := stats.NewRand(cfg.Seed ^ 0x6B65795F73747265) // "key_stre"
+	out := make([]arrival, cfg.Requests)
+
+	if cfg.Shape == ShapeSaturate {
+		// The capacity probe: the whole batch is offered immediately
+		// (1ps apart to keep submissions ordered), so completion rate
+		// measures the fleet's intrinsic service capacity.
+		for i := range out {
+			out[i] = arrival{
+				at:  sim.Time(i + 1),
+				key: keys.Uint64() % uint64(cfg.Items),
+			}
+		}
+		return out
+	}
+
+	// Poisson process: exponential inter-arrival gaps with mean
+	// 1/rate, drawn in picoseconds. The bursty shape draws at
+	// rate/duty so that after compression the mean rate is back to
+	// RatePerSec while the in-burst rate is RatePerSec/duty.
+	meanGapPs := float64(sim.Second) / cfg.RatePerSec
+	if cfg.Shape == ShapeBursty {
+		meanGapPs *= cfg.BurstDuty
+	}
+	exp := stats.NewExp(cfg.Seed, meanGapPs)
+	var t sim.Time
+	for i := range out {
+		t += sim.Time(exp.Next())
+		out[i] = arrival{at: t, key: keys.Uint64() % uint64(cfg.Items)}
+	}
+
+	if cfg.Shape == ShapeBursty {
+		// Time-warp the Poisson stream into on/off bursts: each period
+		// P keeps only its first Duty fraction live, so a timeline
+		// spanning T seconds compresses into bursts at Rate/Duty with
+		// silent gaps between them — same request count, same mean
+		// rate, fatter tails.
+		on := sim.Time(float64(cfg.BurstPeriod) * cfg.BurstDuty)
+		for i := range out {
+			t := out[i].at
+			period := t / on
+			out[i].at = period*cfg.BurstPeriod + t%on
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package cluster composes many host+device instances into a fleet
+// behind an open-loop arrival process and a request router — the step
+// from the paper's single host hiding one device's microsecond latency
+// to a memcached-style service absorbing an aggregate request stream.
+//
+// Each instance is a full core.Env simulation on its own sim.Engine;
+// the driver advances every engine in lockstep to each arrival time,
+// consults the routing policy against the instances' live queue state,
+// and submits the request to the chosen instance's open-loop Server.
+// Because the arrival timeline, the key stream, and every tie-break
+// are pure functions of the seed, a fleet run is deterministic: the
+// same Config always produces the same FleetSummary, byte for byte,
+// which is what lets cluster cells ride the content-addressed result
+// cache and the parallel sweep executor unchanged.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one fleet run.
+type Config struct {
+	Base platform.Config // per-instance platform (latency, queues, cores)
+
+	Instances int    // host+device instances in the fleet
+	Mech      string // per-instance backend: prefetch, swqueue, ondemand
+	Policy    string // round-robin, least-outstanding, queue-weighted, key-affinity
+	Shape     string // poisson, bursty, saturate
+
+	Workers    int  // worker contexts per instance
+	ValueLines int  // device lines fetched per request
+	WorkInstr  int  // post-fetch work instructions per request
+	Items      int  // memcached key space per instance
+	ValueSkew  bool // key-dependent value sizes (mean stays ValueLines)
+
+	Requests   int     // arrivals to generate
+	RatePerSec float64 // fleet-wide offered load (ignored by shape saturate)
+	Rho        float64 // informational: offered load / measured capacity
+
+	// BurstPeriod and BurstDuty shape the bursty arrival process: the
+	// Poisson stream is compressed into the first Duty fraction of
+	// every Period, leaving silent gaps — same mean rate, bursts at
+	// Rate/Duty. Zero values take defaults (100us, 0.5).
+	BurstPeriod sim.Time
+	BurstDuty   float64
+
+	// Window is the saturation observation window: per instance, a
+	// window whose arrivals exceed its completions while more requests
+	// are in flight than the worker pool is flagged saturated. Zero
+	// takes a default of 50us.
+	Window sim.Time
+
+	Seed uint64 // arrival timeline, key stream, and weighted-policy seed
+}
+
+func (c Config) withDefaults() Config {
+	if c.BurstPeriod <= 0 {
+		c.BurstPeriod = 100 * sim.Microsecond
+	}
+	if c.BurstDuty <= 0 || c.BurstDuty > 1 {
+		c.BurstDuty = 0.5
+	}
+	if c.Window <= 0 {
+		c.Window = 50 * sim.Microsecond
+	}
+	return c
+}
+
+// Validate rejects configurations before any simulation starts.
+func (c Config) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.Instances < 1 {
+		return fmt.Errorf("cluster: need at least 1 instance, got %d", c.Instances)
+	}
+	switch c.Mech {
+	case "prefetch", "swqueue", "ondemand":
+	default:
+		return fmt.Errorf("cluster: unknown mechanism %q", c.Mech)
+	}
+	switch c.Policy {
+	case PolicyRoundRobin, PolicyLeastOutstanding, PolicyQueueWeighted, PolicyKeyAffinity:
+	default:
+		return fmt.Errorf("cluster: unknown policy %q", c.Policy)
+	}
+	switch c.Shape {
+	case ShapePoisson, ShapeBursty, ShapeSaturate:
+	default:
+		return fmt.Errorf("cluster: unknown arrival shape %q", c.Shape)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("cluster: need at least 1 worker per instance, got %d", c.Workers)
+	}
+	if c.ValueLines < 1 {
+		return fmt.Errorf("cluster: need at least 1 value line, got %d", c.ValueLines)
+	}
+	if c.Items < 1 {
+		return fmt.Errorf("cluster: need at least 1 item, got %d", c.Items)
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("cluster: need at least 1 request, got %d", c.Requests)
+	}
+	if c.Shape != ShapeSaturate && c.RatePerSec <= 0 {
+		return fmt.Errorf("cluster: offered rate %g must be positive", c.RatePerSec)
+	}
+	return nil
+}
+
+// instance is one fleet member: an Env, its open-loop server, and the
+// sliding-window saturation accounting.
+type instance struct {
+	env *core.Env
+	srv *core.Server
+
+	windows       int
+	saturated     int
+	prevArrived   uint64
+	prevCompleted uint64
+}
+
+// Run executes one fleet simulation and summarizes it.
+func Run(cfg Config) (*stats.FleetSummary, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Every instance serves the same memcached-style item store; the
+	// backing is content-only (no engine state), so sharing one across
+	// instances is safe and keeps N-instantiation cheap.
+	backing := workload.NewMemcached(cfg.Items, cfg.ValueLines, 1, 1).Backing()
+	insts := make([]*instance, cfg.Instances)
+	for i := range insts {
+		env := core.NewEnv(cfg.Base, backing)
+		srv, err := core.NewServer(env, core.ServerConfig{
+			Mech:       cfg.Mech,
+			Workers:    cfg.Workers,
+			ValueLines: cfg.ValueLines,
+			WorkInstr:  cfg.WorkInstr,
+			ValueSkew:  cfg.ValueSkew,
+		})
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = &instance{env: env, srv: srv}
+	}
+
+	arrivals := generateArrivals(cfg)
+	router, err := newRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lockstep drive: advance every engine to each arrival's timestamp
+	// (closing out saturation windows on the way), then route on the
+	// instances' now-current queue state.
+	perArrived := make([]uint64, cfg.Instances)
+	nextWindow := cfg.Window
+	for _, a := range arrivals {
+		for nextWindow <= a.at {
+			advanceAll(insts, nextWindow, cfg.Workers)
+			nextWindow += cfg.Window
+		}
+		for _, in := range insts {
+			in.env.Engine().RunUntil(a.at)
+		}
+		target := router.pick(insts, a.key)
+		perArrived[target]++
+		insts[target].srv.Submit(a.key)
+	}
+
+	// Drain: no more arrivals; close the servers and keep advancing in
+	// window-sized lockstep so the saturation accounting still observes
+	// the backlog being worked off, not just the final state. If no
+	// instance makes progress for a long stretch the loop hands over to
+	// RunChecked, whose watchdog names the stuck process.
+	for _, in := range insts {
+		in.srv.Close()
+	}
+	idle := 0
+	for backlog(insts) && idle < 1000 {
+		before := totalCompleted(insts)
+		advanceAll(insts, nextWindow, cfg.Workers)
+		nextWindow += cfg.Window
+		if totalCompleted(insts) == before {
+			idle++
+		} else {
+			idle = 0
+		}
+	}
+	for _, in := range insts {
+		if _, err := in.env.Engine().RunChecked(); err != nil {
+			return nil, fmt.Errorf("cluster: instance drain: %w", err)
+		}
+	}
+	var end sim.Time
+	for _, in := range insts {
+		if lc := in.srv.LastComplete(); lc > end {
+			end = lc
+		}
+	}
+
+	sum := summarize(cfg, insts, perArrived, end)
+	for _, in := range insts {
+		in.env.Engine().Recycle()
+	}
+	return sum, nil
+}
+
+// backlog reports whether any instance still has requests in flight.
+func backlog(insts []*instance) bool {
+	for _, in := range insts {
+		if in.srv.Outstanding() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func totalCompleted(insts []*instance) uint64 {
+	var n uint64
+	for _, in := range insts {
+		n += in.srv.Completed()
+	}
+	return n
+}
+
+// advanceAll moves every instance's engine to the window boundary and
+// closes the window's saturation accounting.
+func advanceAll(insts []*instance, boundary sim.Time, workers int) {
+	for _, in := range insts {
+		in.env.Engine().RunUntil(boundary)
+	}
+	closeWindow(insts, workers)
+}
+
+// closeWindow flags, per instance, a window where arrivals outpaced
+// completions while the backlog exceeded the worker pool — sustained
+// oversubscription, not a transient burst one pool of workers absorbs.
+func closeWindow(insts []*instance, workers int) {
+	for _, in := range insts {
+		arr, comp := in.srv.Arrived(), in.srv.Completed()
+		dArr, dComp := arr-in.prevArrived, comp-in.prevCompleted
+		in.windows++
+		if dArr > dComp && in.srv.Outstanding() > workers {
+			in.saturated++
+		}
+		in.prevArrived, in.prevCompleted = arr, comp
+	}
+}
+
+func summarize(cfg Config, insts []*instance, perArrived []uint64, end sim.Time) *stats.FleetSummary {
+	merged := stats.NewHistogram()
+	sum := &stats.FleetSummary{
+		Policy:        cfg.Policy,
+		Shape:         cfg.Shape,
+		Mech:          cfg.Mech,
+		Rho:           cfg.Rho,
+		OfferedPerSec: cfg.RatePerSec,
+		Instances:     make([]stats.FleetInstance, len(insts)),
+	}
+	for i, in := range insts {
+		h := in.srv.Latencies()
+		merged.Merge(h)
+		sum.Instances[i] = stats.FleetInstance{
+			Arrived:          perArrived[i],
+			Completed:        in.srv.Completed(),
+			Windows:          in.windows,
+			SaturatedWindows: in.saturated,
+			PeakOutstanding:  in.srv.PeakOutstanding(),
+			P50Ns:            sim.Time(h.Quantile(0.50)).Nanoseconds(),
+			P99Ns:            sim.Time(h.Quantile(0.99)).Nanoseconds(),
+			P999Ns:           sim.Time(h.Quantile(0.999)).Nanoseconds(),
+		}
+		sum.Arrived += perArrived[i]
+		sum.Completed += in.srv.Completed()
+	}
+	sum.ElapsedSeconds = end.Seconds()
+	if sum.ElapsedSeconds > 0 {
+		sum.CompletedPerSec = float64(sum.Completed) / sum.ElapsedSeconds
+	}
+	sum.P50Ns = sim.Time(merged.Quantile(0.50)).Nanoseconds()
+	sum.P99Ns = sim.Time(merged.Quantile(0.99)).Nanoseconds()
+	sum.P999Ns = sim.Time(merged.Quantile(0.999)).Nanoseconds()
+	return sum
+}

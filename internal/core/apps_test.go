@@ -124,14 +124,14 @@ func TestSpuriousRequestDuringReplayRun(t *testing.T) {
 	cfg := platform.Default()
 
 	// Recording pass.
-	recEnv := newEnv(cfg, m.Backing())
+	recEnv := NewEnv(cfg, m.Backing())
 	recEnv.dev.EnableRecording(0)
 	if _, err := launch(recEnv, m, 4, runPrefetchCore); err != nil {
 		t.Fatal(err)
 	}
 
 	// Measured pass with an injected spurious read at 5us.
-	e := newEnv(cfg, m.Backing())
+	e := NewEnv(cfg, m.Backing())
 	if err := e.dev.LoadRecording(0, recEnv.dev.TakeRecording(0), 0); err != nil {
 		t.Fatal(err)
 	}

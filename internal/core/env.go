@@ -17,9 +17,9 @@ import (
 	"repro/internal/trace"
 )
 
-// env is one assembled simulation platform: engine, DRAM, PCIe link,
+// Env is one assembled simulation platform: engine, DRAM, PCIe link,
 // chip-level MMIO queue, per-core LFB pools, and the device emulator.
-type env struct {
+type Env struct {
 	eng      *sim.Engine
 	cfg      platform.Config
 	link     *pcie.Link
@@ -57,11 +57,11 @@ type env struct {
 	lfbName, sqName, cqName, runnableName []string
 }
 
-func newEnv(cfg platform.Config, backing replay.Backing) *env {
+func NewEnv(cfg platform.Config, backing replay.Backing) *Env {
 	eng := sim.NewEngine()
 	link := pcie.NewLink(eng, cfg)
 	dram := mem.New(eng, cfg.DRAMLatency, cfg.DRAMMaxOutstanding)
-	e := &env{
+	e := &Env{
 		eng:  eng,
 		cfg:  cfg,
 		link: link,
@@ -89,7 +89,7 @@ func newEnv(cfg platform.Config, backing replay.Backing) *env {
 // device line in every core's cache (§V-C: with the memory-mapped
 // interface "the device data is stored in hardware caches and kept
 // coherent across cores in the event of a write").
-func (e *env) invalidateAll(addr uint64) {
+func (e *Env) invalidateAll(addr uint64) {
 	for _, c := range e.caches {
 		if c != nil {
 			c.Invalidate(addr)
@@ -201,7 +201,7 @@ type Diagnostics struct {
 	Timeline []OccupancySample
 }
 
-func (e *env) diagnostics(c *counters) Diagnostics {
+func (e *Env) diagnostics(c *counters) Diagnostics {
 	d := Diagnostics{
 		MaxChipQueue: e.chip.MaxInUse(),
 		ChipStalls:   e.chip.Stalls(),
@@ -253,7 +253,7 @@ func (e *env) diagnostics(c *counters) Diagnostics {
 
 // startSampler arms the periodic occupancy sampler; it re-arms itself
 // while any core is still running, so the simulation still drains.
-func (e *env) startSampler(c *counters) {
+func (e *Env) startSampler(c *counters) {
 	if e.cfg.SamplePeriod <= 0 {
 		return
 	}
@@ -283,7 +283,7 @@ func (e *env) startSampler(c *counters) {
 // queue. The hooks only record state the simulation already computes —
 // they never schedule events, so traced and untraced runs are
 // timing-identical.
-func (e *env) startTrace(label string) {
+func (e *Env) startTrace(label string) {
 	if e.cfg.Trace == nil {
 		return
 	}
@@ -318,7 +318,7 @@ func (e *env) startTrace(label string) {
 // (MetricsWindow > 0). The recorder only aggregates values the
 // simulation already computes and never schedules events, so recorded
 // and unrecorded runs are timing-identical.
-func (e *env) startRecorder(label string) {
+func (e *Env) startRecorder(label string) {
 	if e.cfg.MetricsWindow <= 0 {
 		return
 	}
@@ -330,7 +330,7 @@ func (e *env) startRecorder(label string) {
 // the trace run and the flight recorder are attached. The trace wants
 // absolute occupancy; the recorder wants deltas, converted with a
 // closure-captured previous value per pool.
-func (e *env) installPoolHooks() {
+func (e *Env) installPoolHooks() {
 	if e.tr == nil && e.rec == nil {
 		return
 	}
@@ -365,7 +365,7 @@ func (e *env) installPoolHooks() {
 // events, so attributed and unattributed runs are timing-identical.
 // When the flight recorder is also on, every closed ledger feeds the
 // recorder's per-window phase columns.
-func (e *env) startAttrib(label string) {
+func (e *Env) startAttrib(label string) {
 	if !e.cfg.Attribution {
 		return
 	}
@@ -381,7 +381,7 @@ func (e *env) startAttrib(label string) {
 // startObservability attaches every enabled observability layer — the
 // Perfetto trace run, the flight recorder, the attribution probe, and
 // the shared pool hooks that feed them — for one measured run.
-func (e *env) startObservability(label string) {
+func (e *Env) startObservability(label string) {
 	e.startTrace(label)
 	e.startRecorder(label)
 	e.startAttrib(label)

@@ -21,7 +21,7 @@ import (
 // kernel-mode context switch, and on the device's completion interrupt
 // pays the interrupt cost plus another kernel switch before the thread
 // returns from its syscall.
-func runKernelQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+func runKernelQCore(p *sim.Proc, e *Env, coreID int, threads []*uthread.Thread, c *counters) {
 	rq := hostmem.NewRequestQueue()
 	cq := hostmem.NewCompletionQueue()
 	ep := e.dev.NewSWQEndpoint(coreID, rq, cq)

@@ -27,7 +27,7 @@ type pendingAccess struct {
 // context switch. The round-robin scheduler later resumes the thread,
 // whose demand load either hits in the L1 (the fill arrived) or blocks
 // the core until the in-flight miss completes (MSHR merge).
-func runPrefetchCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+func runPrefetchCore(p *sim.Proc, e *Env, coreID int, threads []*uthread.Thread, c *counters) {
 	initial := make(map[*uthread.Thread]uthread.Request, len(threads))
 	pending := make(map[*uthread.Thread]*pendingAccess, len(threads))
 	for _, th := range threads {

@@ -39,7 +39,7 @@ func minDeadline(waiting map[uint64]descWait) sim.Time {
 // cannot hang the core: on expiry it runs timeout recovery over every
 // overdue descriptor. Callers must obtain the gate before their final
 // completion-queue drain to avoid a lost wakeup.
-func waitCompletionOrRecover(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
+func waitCompletionOrRecover(p *sim.Proc, e *Env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
 	gate *sim.Gate, waiting map[uint64]descWait, states map[*uthread.Thread]*swqThreadState,
 	ready *uthread.FIFO, c *counters) {
 	if e.faults == nil || len(waiting) == 0 {
@@ -60,7 +60,7 @@ func waitCompletionOrRecover(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *
 // unconditionally — the fetcher may be parked on a doorbell that a
 // fault swallowed. Descriptor IDs are scanned in sorted order to keep
 // the run deterministic.
-func resubmitOverdue(p *sim.Proc, e *env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
+func resubmitOverdue(p *sim.Proc, e *Env, rq *hostmem.RequestQueue, ep *device.SWQEndpoint,
 	waiting map[uint64]descWait, states map[*uthread.Thread]*swqThreadState,
 	ready *uthread.FIFO, c *counters) {
 	ids := make([]uint64, 0, len(waiting))

@@ -14,10 +14,10 @@ import (
 )
 
 // recoveryHarness assembles the minimal scheduler state the shared
-// park-or-recover wait operates on: an env (faulty or not), the host
+// park-or-recover wait operates on: an Env (faulty or not), the host
 // queues, a device endpoint, and one thread with a single-slot batch.
 type recoveryHarness struct {
-	e       *env
+	e       *Env
 	rq      *hostmem.RequestQueue
 	cq      *hostmem.CompletionQueue
 	ep      *device.SWQEndpoint
@@ -30,7 +30,7 @@ type recoveryHarness struct {
 
 func newRecoveryHarness(cfg platform.Config) *recoveryHarness {
 	h := &recoveryHarness{
-		e:       newEnv(cfg, replay.ZeroBacking{}),
+		e:       NewEnv(cfg, replay.ZeroBacking{}),
 		rq:      hostmem.NewRequestQueue(),
 		cq:      hostmem.NewCompletionQueue(),
 		states:  map[*uthread.Thread]*swqThreadState{},

@@ -30,6 +30,10 @@ type Result struct {
 	// enables it (Attribution). Like Series it is a pure value type
 	// that rides through the gob-encoded result cache unchanged.
 	Attrib *stats.AttribSummary
+
+	// Fleet is the cluster-cell payload, nil for single-host runs. A
+	// pure value type, so it too rides the gob-encoded result cache.
+	Fleet *stats.FleetSummary
 }
 
 // RunDRAMBaseline measures the single-threaded on-demand DRAM run that
@@ -183,7 +187,7 @@ func RunOnDemandDevice(cfg platform.Config, w Workload) (Result, error) {
 }
 
 // coreRunner is one mechanism's per-core executor.
-type coreRunner func(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters)
+type coreRunner func(p *sim.Proc, e *Env, coreID int, threads []*uthread.Thread, c *counters)
 
 // RunPrefetch measures the prefetch + user-level-context-switch
 // mechanism with threadsPerCore threads on each of cfg.Cores cores.
@@ -210,7 +214,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		return Result{}, fmt.Errorf("core: threadsPerCore %d must be positive", threadsPerCore)
 	}
 
-	e := newEnv(cfg, w.Backing())
+	e := NewEnv(cfg, w.Backing())
 	if useReplay {
 		// Recording run: same execution, device in capture mode. Faults,
 		// tracing, and telemetry are stripped so the captured trace stays
@@ -221,7 +225,7 @@ func runThreaded(cfg platform.Config, w Workload, mech string, threadsPerCore in
 		recCfg.MetricsWindow = 0
 		recCfg.MetricsSink = nil
 		recCfg.Attribution = false
-		rec := newEnv(recCfg, w.Backing())
+		rec := NewEnv(recCfg, w.Backing())
 		for coreID := 0; coreID < cfg.Cores; coreID++ {
 			rec.dev.EnableRecording(coreID)
 		}
@@ -299,7 +303,7 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 	cfg.MetricsWindow = 0
 	cfg.MetricsSink = nil
 	cfg.Attribution = false
-	e := newEnv(cfg, w.Backing())
+	e := NewEnv(cfg, w.Backing())
 	for coreID := 0; coreID < cfg.Cores; coreID++ {
 		e.dev.EnableRecording(coreID)
 	}
@@ -320,7 +324,7 @@ func RecordAccessTrace(cfg platform.Config, w Workload, threadsPerCore int, mech
 // that deadlocks (e.g. waiting forever on a completion that a fault
 // swallowed and recovery failed to replace) into an error naming the
 // stuck process instead of a silently truncated measurement.
-func launch(e *env, w Workload, threadsPerCore int, run coreRunner) (*counters, error) {
+func launch(e *Env, w Workload, threadsPerCore int, run coreRunner) (*counters, error) {
 	c := &counters{liveCores: e.cfg.Cores}
 	e.startSampler(c)
 	for coreID := 0; coreID < e.cfg.Cores; coreID++ {

@@ -44,7 +44,7 @@ type descWait struct {
 // gauges (deltas via a captured previous value). The hooks read the
 // engine clock directly because queue transitions happen in both core
 // and device contexts. Shared by the SWQ and kernel-queue mechanisms.
-func installQueueHooks(e *env, coreID int, rq *hostmem.RequestQueue, cq *hostmem.CompletionQueue, ready *uthread.FIFO) {
+func installQueueHooks(e *Env, coreID int, rq *hostmem.RequestQueue, cq *hostmem.CompletionQueue, ready *uthread.FIFO) {
 	if e.tr == nil && e.rec == nil {
 		return
 	}
@@ -84,7 +84,7 @@ func installQueueHooks(e *env, coreID int, rq *hostmem.RequestQueue, cq *hostmem
 // only when the doorbell-request flag is set), and a FIFO user-level
 // scheduler runs ready threads, polling the completion queue "only when
 // no threads remain in the ready state" (§IV-B).
-func runSWQCore(p *sim.Proc, e *env, coreID int, threads []*uthread.Thread, c *counters) {
+func runSWQCore(p *sim.Proc, e *Env, coreID int, threads []*uthread.Thread, c *counters) {
 	rq := hostmem.NewRequestQueue()
 	cq := hostmem.NewCompletionQueue()
 	ep := e.dev.NewSWQEndpoint(coreID, rq, cq)

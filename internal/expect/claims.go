@@ -390,7 +390,133 @@ func Claims() []Check {
 				fmt.Sprintf("dominant phase %s at %.0f%% (want completion_wait >= 45%%)", ph, frac*100)
 		})
 
+	// ---- Cluster-scale fleet experiments (internal/cluster) ----
+	// addCluster claims additionally require the report's cluster
+	// section, so they skip (not fail) on fleet-free sweeps.
+	addCluster := func(id, table, claim string, eval func(r *report.Report) (bool, string)) {
+		cs = append(cs, Check{ID: id, Tables: []string{table}, Claim: claim,
+			Requires: requiresCluster, Eval: eval})
+	}
+	addCluster("cluster.least-beats-rr", "cluster-policies",
+		"near saturation with heterogeneous request sizes, least-outstanding routing beats round-robin's fleet p99: the adaptive policy steers around the instance that drew a run of fat values",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("cluster-policies")
+			lo := t.FindSeries("least-outstanding").YAt(0.9)
+			rr := t.FindSeries("round-robin").YAt(0.9)
+			return within(lo/rr, 0, 0.9),
+				fmt.Sprintf("least-outstanding %.2fus vs round-robin %.2fus at rho=0.9 (want <= 0.9x)", lo, rr)
+		})
+	addCluster("cluster.p99-rises-with-load", "cluster-policies",
+		"every routing policy's fleet p99 rises with offered load — open-loop queueing has no relief valve",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("cluster-policies")
+			for _, s := range t.Series {
+				if ok, d := monotoneNonDecreasing(s, 0.1); !ok {
+					return false, s.Label + ": " + d
+				}
+			}
+			return true, fmt.Sprintf("all %d policy series monotone in load", len(t.Series))
+		})
+	addCluster("cluster.burst-tail", "cluster-shapes",
+		"the bursty arrival shape (same mean rate, half-duty on-windows) at least doubles the fleet p99 near saturation",
+		func(r *report.Report) (bool, string) {
+			return valueRatioAt(r.Table("cluster-shapes"), "bursty", "poisson", 0.9, 2, math.Inf(1))
+		})
+	addCluster("cluster.swq-absorbs-more", "cluster-mechs",
+		"past the prefetch fleet's LFB-capped knee, SWQ fleets absorb more load per instance: the absorb ratio at 1.8x prefetch capacity favors swqueue by at least 1.3x",
+		func(r *report.Report) (bool, string) {
+			return valueRatioAt(r.Table("cluster-mechs"), "swqueue", "prefetch", 1.8, 1.3, math.Inf(1))
+		})
+	addCluster("cluster.prefetch-saturates", "cluster-mechs",
+		"driven past its capacity the prefetch fleet visibly saturates: absorb ratio <= 0.8 at 1.8x and every instance flags saturated windows, while the SWQ fleet still absorbs >= 0.9 with none",
+		func(r *report.Report) (bool, string) {
+			t := r.Table("cluster-mechs")
+			pf, sw := t.FindSeries("prefetch"), t.FindSeries("swqueue")
+			if !within(pf.YAt(1.8), 0, 0.8) {
+				return false, fmt.Sprintf("prefetch absorb %.3f at x=1.8 (want <= 0.8)", pf.YAt(1.8))
+			}
+			if !within(sw.YAt(1.8), 0.9, 1.1) {
+				return false, fmt.Sprintf("swqueue absorb %.3f at x=1.8 (want >= 0.9)", sw.YAt(1.8))
+			}
+			f := pf.FleetAt(1.8)
+			if f == nil {
+				return false, "prefetch cell at x=1.8 carries no fleet summary"
+			}
+			for i, in := range f.Instances {
+				if in.SaturatedWindows == 0 {
+					return false, fmt.Sprintf("prefetch instance %d flags no saturated windows at x=1.8", i)
+				}
+			}
+			if f := sw.FleetAt(1.8); f != nil {
+				for i, in := range f.Instances {
+					if in.SaturatedWindows > 0 {
+						return false, fmt.Sprintf("swqueue instance %d flags %d saturated windows at x=1.8", i, in.SaturatedWindows)
+					}
+				}
+			}
+			return true, fmt.Sprintf("prefetch absorb %.3f (all instances saturated), swqueue %.3f (none)",
+				pf.YAt(1.8), sw.YAt(1.8))
+		})
+	addCluster("cluster.no-saturation-at-half-load", "cluster-policies",
+		"at half capacity no instance of any fleet flags a saturated window — the detector stays quiet below the knee",
+		func(r *report.Report) (bool, string) {
+			cells := 0
+			for _, id := range []string{"cluster-policies", "cluster-shapes", "cluster-mechs"} {
+				t := r.Table(id)
+				if t == nil {
+					continue
+				}
+				for _, s := range t.Series {
+					f := s.FleetAt(0.5)
+					if f == nil {
+						continue
+					}
+					cells++
+					for i, in := range f.Instances {
+						if in.SaturatedWindows > 0 {
+							return false, fmt.Sprintf("%s/%s instance %d: %d saturated windows at rho=0.5",
+								id, s.Label, i, in.SaturatedWindows)
+						}
+					}
+				}
+			}
+			return cells > 0, fmt.Sprintf("%d half-load fleet cells, zero saturated windows", cells)
+		})
+	addCluster("cluster.fleet-counts-exact", "cluster-policies",
+		"every fleet cell drains completely: completions equal arrivals, and per-instance counts sum to the fleet totals",
+		func(r *report.Report) (bool, string) {
+			cells := 0
+			for _, id := range []string{"cluster-policies", "cluster-shapes", "cluster-mechs"} {
+				t := r.Table(id)
+				if t == nil {
+					continue
+				}
+				for _, s := range t.Series {
+					for i, f := range s.Fleet {
+						if f == nil {
+							continue
+						}
+						cells++
+						if f.Completed != f.Arrived || f.Arrived == 0 {
+							return false, fmt.Sprintf("%s/%s x=%g: completed %d of %d arrived",
+								id, s.Label, float64(s.X[i]), f.Completed, f.Arrived)
+						}
+					}
+				}
+			}
+			return cells > 0, fmt.Sprintf("%d fleet cells, all drained exactly", cells)
+		})
+
 	return cs
+}
+
+// requiresCluster gates a claim on the report carrying a cluster
+// section; only sweeps that ran fleet experiments do.
+func requiresCluster(r *report.Report) string {
+	if r.Cluster == nil {
+		return "no cluster section in report (rerun with -fleet)"
+	}
+	return ""
 }
 
 // requiresAttribution gates a claim on the report carrying a latency

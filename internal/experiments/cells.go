@@ -147,6 +147,9 @@ type CellSpec struct {
 	Threads int
 	// Replay selects the paper's two-run record/replay methodology.
 	Replay bool
+	// Cluster parameterizes fleet cells (Mech "cluster"); its zero
+	// value is inert for every other mechanism.
+	Cluster ClusterSpec
 }
 
 // Key returns the cell's canonical content address. The trace recorder
@@ -160,17 +163,21 @@ func (c CellSpec) Key() string {
 	cfg.Trace = nil
 	cfg.MetricsSink = nil
 	return resultstore.Key(
-		"cell-v1",
+		"cell-v2",
 		c.Mech,
 		strconv.Itoa(c.Threads),
 		strconv.FormatBool(c.Replay),
 		fmt.Sprintf("%#v", cfg),
 		fmt.Sprintf("%#v", c.Workload),
+		fmt.Sprintf("%#v", c.Cluster),
 	)
 }
 
 // Run executes the cell: build the workload, dispatch on mechanism.
 func (c CellSpec) Run() (core.Result, error) {
+	if c.Mech == "cluster" {
+		return runCluster(c)
+	}
 	wl := c.Workload.Build()
 	switch c.Mech {
 	case "dram":

@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+// Every registry entry must resolve through PlanFor — by canonical id
+// and by every alias — to a plan whose step id matches the entry, and
+// carry a non-empty description for the -plans listing.
+func TestPlanRegistryResolves(t *testing.T) {
+	s := Quick()
+	infos := Plans()
+	if len(infos) == 0 {
+		t.Fatal("empty plan registry")
+	}
+	seen := map[string]bool{}
+	for _, p := range infos {
+		if p.Desc == "" {
+			t.Errorf("plan %s has no description", p.ID)
+		}
+		for _, id := range append([]string{p.ID}, p.Aliases...) {
+			if seen[id] {
+				t.Errorf("id %q registered twice", id)
+			}
+			seen[id] = true
+			plan := PlanFor(s, id)
+			if len(plan) == 0 {
+				t.Errorf("PlanFor(%q) resolved to nothing", id)
+				continue
+			}
+			for _, step := range plan {
+				if step.ID == "" || step.Run == nil {
+					t.Errorf("PlanFor(%q) produced a malformed step %+v", id, step)
+				}
+			}
+		}
+	}
+	if PlanFor(s, "no-such-experiment") != nil {
+		t.Error("unknown id resolved to a plan")
+	}
+	// The ids the families hand out must stay resolvable individually.
+	for _, want := range []string{"fig2", "cluster", "ext-faults", "ablation-lfb"} {
+		if !seen[want] {
+			t.Errorf("registry lost id %q", want)
+		}
+	}
+}
+
+// The fleet plan must expose the cluster experiment under both its
+// canonical id and the CLI alias.
+func TestFleetPlanMatchesRegistry(t *testing.T) {
+	s := Quick()
+	plan := s.FleetPlan()
+	if len(plan) != 1 || plan[0].ID != "cluster" {
+		t.Fatalf("FleetPlan = %+v, want one step with id cluster", plan)
+	}
+	for _, alias := range []string{"cluster", "fleet"} {
+		if p := PlanFor(s, alias); len(p) != 1 || p[0].ID != "cluster" {
+			t.Fatalf("PlanFor(%q) = %+v, want the cluster step", alias, p)
+		}
+	}
+}

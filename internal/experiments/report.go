@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/attrib"
+	"repro/internal/cluster"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -33,6 +34,21 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 			Phases:  attrib.Names(),
 		}
 	}
+	// The cluster block is stamped iff some table carries fleet
+	// summaries, so fleet-free sweeps stay byte-identical to the
+	// pre-cluster schema.
+	var cl *report.ClusterMeta
+	for _, t := range tables {
+		for _, sr := range t.Series {
+			if sr.HasFleet() {
+				cl = &report.ClusterMeta{
+					Version:  report.ClusterVersion,
+					Policies: cluster.Policies(),
+					Shapes:   []string{cluster.ShapePoisson, cluster.ShapeBursty, cluster.ShapeSaturate},
+				}
+			}
+		}
+	}
 	return &report.Report{
 		Schema:   report.SchemaName,
 		Version:  report.SchemaVersion,
@@ -52,6 +68,7 @@ func (s Suite) Report(tables []*stats.Table) *report.Report {
 		},
 		Timeseries:  ts,
 		Attribution: at,
+		Cluster:     cl,
 		Tables:      report.FromTables(tables),
 	}
 }

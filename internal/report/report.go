@@ -82,7 +82,25 @@ type Report struct {
 	// without attribution stay byte-identical to the pre-attribution
 	// schema.
 	Attribution *AttributionMeta `json:"attribution,omitempty"`
-	Tables      []*Table         `json:"tables"`
+	// Cluster describes the fleet-simulation layer when the sweep ran
+	// cluster experiments; nil (and omitted) otherwise, so reports
+	// without fleet tables stay byte-identical to the pre-cluster
+	// schema.
+	Cluster *ClusterMeta `json:"cluster,omitempty"`
+	Tables  []*Table     `json:"tables"`
+}
+
+// ClusterVersion is bumped on any incompatible change to the per-cell
+// FleetSummary layout below or to the policy/shape vocabulary.
+const ClusterVersion = 1
+
+// ClusterMeta stamps the fleet-simulation vocabulary of a sweep that
+// ran cluster experiments: the routing policies and arrival shapes the
+// per-cell fleet summaries draw from.
+type ClusterMeta struct {
+	Version  int      `json:"version"`
+	Policies []string `json:"policies"`
+	Shapes   []string `json:"shapes"`
 }
 
 // TimeseriesVersion is bumped on any incompatible change to the
@@ -207,6 +225,43 @@ type Series struct {
 	Diags   []*Diag          `json:"diags,omitempty"`
 	Metrics []*TimeSeries    `json:"metrics,omitempty"`
 	Attrib  []*AttribSummary `json:"attrib,omitempty"`
+	// Fleet, present only in cluster tables, is likewise index-aligned
+	// and carries each cell's fleet summary.
+	Fleet []*FleetSummary `json:"fleet,omitempty"`
+}
+
+// FleetSummary mirrors stats.FleetSummary: one fleet cell's outcome —
+// the aggregate rates, the merged end-to-end latency percentiles, and
+// the per-instance saturation accounting.
+type FleetSummary struct {
+	Policy string `json:"policy"`
+	Shape  string `json:"shape"`
+	Mech   string `json:"mech"`
+
+	Rho             Float  `json:"rho"`
+	OfferedPerSec   Float  `json:"offered_per_sec"`
+	CompletedPerSec Float  `json:"completed_per_sec"`
+	Arrived         uint64 `json:"arrived"`
+	Completed       uint64 `json:"completed"`
+	ElapsedSeconds  Float  `json:"elapsed_seconds"`
+
+	P50Ns  Float `json:"p50_ns"`
+	P99Ns  Float `json:"p99_ns"`
+	P999Ns Float `json:"p999_ns"`
+
+	Instances []FleetInstance `json:"instances"`
+}
+
+// FleetInstance is one fleet member's slice of a FleetSummary.
+type FleetInstance struct {
+	Arrived          uint64 `json:"arrived"`
+	Completed        uint64 `json:"completed"`
+	Windows          int    `json:"windows"`
+	SaturatedWindows int    `json:"saturated_windows"`
+	PeakOutstanding  int    `json:"peak_outstanding"`
+	P50Ns            Float  `json:"p50_ns"`
+	P99Ns            Float  `json:"p99_ns"`
+	P999Ns           Float  `json:"p999_ns"`
 }
 
 // AttribSummary mirrors stats.AttribSummary: one cell's per-phase
@@ -385,6 +440,11 @@ func FromTables(tables []*stats.Table) []*Table {
 					rs.Attrib = append(rs.Attrib, fromAttrib(a))
 				}
 			}
+			if s.HasFleet() {
+				for _, f := range s.Fleet {
+					rs.Fleet = append(rs.Fleet, fromFleet(f))
+				}
+			}
 			rt.Series = append(rt.Series, rs)
 		}
 		out = append(out, rt)
@@ -485,6 +545,41 @@ func fromAttrib(a *stats.AttribSummary) *AttribSummary {
 	return out
 }
 
+// fromFleet converts a stats.FleetSummary to the report layout. A nil
+// input stays nil — the cell carries no fleet summary.
+func fromFleet(f *stats.FleetSummary) *FleetSummary {
+	if f == nil {
+		return nil
+	}
+	out := &FleetSummary{
+		Policy:          f.Policy,
+		Shape:           f.Shape,
+		Mech:            f.Mech,
+		Rho:             Float(f.Rho),
+		OfferedPerSec:   Float(f.OfferedPerSec),
+		CompletedPerSec: Float(f.CompletedPerSec),
+		Arrived:         f.Arrived,
+		Completed:       f.Completed,
+		ElapsedSeconds:  Float(f.ElapsedSeconds),
+		P50Ns:           Float(f.P50Ns),
+		P99Ns:           Float(f.P99Ns),
+		P999Ns:          Float(f.P999Ns),
+	}
+	for _, in := range f.Instances {
+		out.Instances = append(out.Instances, FleetInstance{
+			Arrived:          in.Arrived,
+			Completed:        in.Completed,
+			Windows:          in.Windows,
+			SaturatedWindows: in.SaturatedWindows,
+			PeakOutstanding:  in.PeakOutstanding,
+			P50Ns:            Float(in.P50Ns),
+			P99Ns:            Float(in.P99Ns),
+			P999Ns:           Float(in.P999Ns),
+		})
+	}
+	return out
+}
+
 // Table returns the table with the given ID, or nil.
 func (r *Report) Table(id string) *Table {
 	for _, t := range r.Tables {
@@ -519,6 +614,19 @@ func (s *Series) YAt(x float64) float64 {
 		}
 	}
 	return math.NaN()
+}
+
+// FleetAt returns the fleet summary attached at the given x, or nil.
+func (s *Series) FleetAt(x float64) *FleetSummary {
+	if s == nil {
+		return nil
+	}
+	for i := range s.X {
+		if float64(s.X[i]) == x && i < len(s.Fleet) {
+			return s.Fleet[i]
+		}
+	}
+	return nil
 }
 
 // Peak returns the maximum finite y and the x where it occurs (NaNs for
@@ -666,6 +774,23 @@ func (r *Report) Validate() error {
 						t.ID, s.Label, ai, err)
 				}
 			}
+			if s.Fleet != nil && len(s.Fleet) != len(s.X) {
+				return fmt.Errorf("report: table %q series %q: %d fleet entries for %d cells",
+					t.ID, s.Label, len(s.Fleet), len(s.X))
+			}
+			for fi, f := range s.Fleet {
+				if f == nil {
+					continue
+				}
+				if r.Cluster == nil {
+					return fmt.Errorf("report: table %q series %q cell %d has a fleet summary but the report has no cluster block",
+						t.ID, s.Label, fi)
+				}
+				if err := f.validate(); err != nil {
+					return fmt.Errorf("report: table %q series %q cell %d: %v",
+						t.ID, s.Label, fi, err)
+				}
+			}
 			for i, x := range s.X {
 				if x.IsNaN() {
 					return fmt.Errorf("report: table %q series %q: x[%d] is null", t.ID, s.Label, i)
@@ -685,6 +810,45 @@ func (r *Report) Validate() error {
 		if len(r.Attribution.Phases) == 0 {
 			return fmt.Errorf("report: attribution block has no phases")
 		}
+	}
+	if r.Cluster != nil {
+		if r.Cluster.Version != ClusterVersion {
+			return fmt.Errorf("report: cluster version %d, want %d",
+				r.Cluster.Version, ClusterVersion)
+		}
+		if len(r.Cluster.Policies) == 0 {
+			return fmt.Errorf("report: cluster block has no policies")
+		}
+		if len(r.Cluster.Shapes) == 0 {
+			return fmt.Errorf("report: cluster block has no shapes")
+		}
+	}
+	return nil
+}
+
+// validate checks one cell's fleet summary: the conservation
+// invariants between the aggregate and its instances.
+func (f *FleetSummary) validate() error {
+	if f.Policy == "" || f.Shape == "" || f.Mech == "" {
+		return fmt.Errorf("fleet: missing policy/shape/mech (%q/%q/%q)", f.Policy, f.Shape, f.Mech)
+	}
+	if len(f.Instances) == 0 {
+		return fmt.Errorf("fleet: no instances")
+	}
+	var arrived, completed uint64
+	for i, in := range f.Instances {
+		if in.Completed > in.Arrived {
+			return fmt.Errorf("fleet: instance %d completed %d > arrived %d", i, in.Completed, in.Arrived)
+		}
+		if in.SaturatedWindows > in.Windows {
+			return fmt.Errorf("fleet: instance %d saturated %d > windows %d", i, in.SaturatedWindows, in.Windows)
+		}
+		arrived += in.Arrived
+		completed += in.Completed
+	}
+	if arrived != f.Arrived || completed != f.Completed {
+		return fmt.Errorf("fleet: instance sums %d/%d != fleet totals %d/%d",
+			arrived, completed, f.Arrived, f.Completed)
 	}
 	return nil
 }

@@ -1,0 +1,82 @@
+package stats
+
+import "testing"
+
+// The fleet percentile backbone: recording samples into N per-instance
+// histograms and merging them must yield exactly the quantiles of one
+// histogram that saw every sample. Merge is bucket-wise and the bucket
+// layout is value-determined, so this must hold exactly — not within a
+// tolerance — for any partition of any sample stream.
+func TestMergePartitionQuantileEquivalence(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, tc := range []struct {
+		name   string
+		parts  int
+		stream func(r *Rand, i int) int64
+	}{
+		{"uniform-small", 4, func(r *Rand, i int) int64 { return int64(r.Uint64() % 256) }},
+		{"uniform-wide", 7, func(r *Rand, i int) int64 { return int64(r.Uint64() % (1 << 40)) }},
+		{"exponential", 5, func(r *Rand, i int) int64 {
+			// microsecond-scale latencies in picoseconds, like a fleet run
+			return 1_000_000 + int64(r.Uint64()%4_000_000)
+		}},
+		{"skewed-partition", 3, func(r *Rand, i int) int64 {
+			// instance load imbalance: values correlate with sample index
+			return int64(i)*1000 + int64(r.Uint64()%512)
+		}},
+		{"single-value", 2, func(r *Rand, i int) int64 { return 777 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRand(0xC0FFEE)
+			combined := NewHistogram()
+			parts := make([]*Histogram, tc.parts)
+			for i := range parts {
+				parts[i] = NewHistogram()
+			}
+			const n = 20000
+			for i := 0; i < n; i++ {
+				v := tc.stream(r, i)
+				combined.Record(v)
+				// deterministic but uneven routing across partitions
+				parts[int(r.Uint64()%uint64(tc.parts))].Record(v)
+			}
+			merged := NewHistogram()
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+			if merged.Count() != combined.Count() {
+				t.Fatalf("merged count %d, combined %d", merged.Count(), combined.Count())
+			}
+			if merged.Min() != combined.Min() || merged.Max() != combined.Max() {
+				t.Fatalf("merged min/max %d/%d, combined %d/%d",
+					merged.Min(), merged.Max(), combined.Min(), combined.Max())
+			}
+			for _, q := range quantiles {
+				if m, c := merged.Quantile(q), combined.Quantile(q); m != c {
+					t.Fatalf("q=%g: merged %d, combined %d", q, m, c)
+				}
+			}
+		})
+	}
+}
+
+// Merging empty histograms into a populated one (and vice versa) must
+// not disturb quantiles — the fleet driver merges every instance
+// unconditionally, including ones the router never picked.
+func TestMergeEmptyPartitions(t *testing.T) {
+	combined := NewHistogram()
+	populated := NewHistogram()
+	for v := int64(1); v <= 1000; v++ {
+		combined.Record(v * 3)
+		populated.Record(v * 3)
+	}
+	merged := NewHistogram()
+	merged.Merge(NewHistogram())
+	merged.Merge(populated)
+	merged.Merge(NewHistogram())
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if m, c := merged.Quantile(q), combined.Quantile(q); m != c {
+			t.Fatalf("q=%g: merged %d, combined %d", q, m, c)
+		}
+	}
+}

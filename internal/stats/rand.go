@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// Rand is a tiny seeded splitmix64 generator. The experiment harness
+// cannot use math/rand: its stream is not pinned across Go releases,
+// and byte-identical reports at any -parallel count require that every
+// sampled sequence be a pure function of the seed. splitmix64 is the
+// same mixer the workloads already use for key streams, is trivially
+// portable, and passes through float64 deterministically (Go's float64
+// arithmetic and math.Log are exactly specified by IEEE 754, so the
+// derived samples are stable across platforms too).
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with the given value. Equal seeds
+// produce equal streams, forever.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next value of the splitmix64 stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp is a seeded exponential sampler: the inter-arrival distribution
+// of a Poisson process with the given mean. Draws are returned as
+// integers in the caller's unit (the cluster layer uses picoseconds)
+// and clamped to at least 1 so a degenerate draw can never produce two
+// events at an identical timestamp ordering-ambiguously.
+type Exp struct {
+	r    *Rand
+	mean float64
+}
+
+// NewExp returns an exponential sampler with the given seed and mean
+// (in the caller's unit; must be positive).
+func NewExp(seed uint64, mean float64) *Exp {
+	if mean <= 0 {
+		panic("stats: exponential mean must be positive")
+	}
+	return &Exp{r: NewRand(seed), mean: mean}
+}
+
+// Next draws one inter-arrival gap. The inverse-CDF transform uses
+// -log(1-u) rather than -log(u) so u=0 (which Float64 can return) maps
+// to a zero gap instead of +Inf.
+func (e *Exp) Next() int64 {
+	u := e.r.Float64()
+	g := int64(math.Round(-math.Log(1-u) * e.mean))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -106,6 +106,7 @@ type Series struct {
 	Diags   []*RunDiag
 	Metrics []*TimeSeries
 	Attrib  []*AttribSummary
+	Fleet   []*FleetSummary
 }
 
 // Add appends a point without diagnostics.
@@ -115,6 +116,7 @@ func (s *Series) Add(x, y float64) {
 	s.Diags = append(s.Diags, nil)
 	s.Metrics = append(s.Metrics, nil)
 	s.Attrib = append(s.Attrib, nil)
+	s.Fleet = append(s.Fleet, nil)
 }
 
 // AddRun appends a measured point together with its run diagnostics.
@@ -124,6 +126,7 @@ func (s *Series) AddRun(x, y float64, d RunDiag) {
 	s.Diags = append(s.Diags, &d)
 	s.Metrics = append(s.Metrics, nil)
 	s.Attrib = append(s.Attrib, nil)
+	s.Fleet = append(s.Fleet, nil)
 }
 
 // AttachMetrics attaches a flight-recorder series to the most recently
@@ -171,6 +174,26 @@ func (s *Series) AttachAttrib(a *AttribSummary) {
 func (s *Series) HasAttrib() bool {
 	for _, a := range s.Attrib {
 		if a != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachFleet attaches a fleet summary to the most recently added
+// point; a nil summary is a no-op, so callers can pass the run's Fleet
+// field unconditionally.
+func (s *Series) AttachFleet(f *FleetSummary) {
+	if f == nil || len(s.Fleet) == 0 {
+		return
+	}
+	s.Fleet[len(s.Fleet)-1] = f
+}
+
+// HasFleet reports whether any point carries a fleet summary.
+func (s *Series) HasFleet() bool {
+	for _, f := range s.Fleet {
+		if f != nil {
 			return true
 		}
 	}
