@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-engine bench-baseline figures fleet extensions examples cover clean serve sweep-par chaos
+.PHONY: all test race bench bench-engine bench-baseline bench-cluster bench-cluster-baseline figures fleet fleet-shards extensions examples cover clean serve sweep-par chaos
 
 all: test
 
@@ -38,10 +38,33 @@ sweep-par:
 
 # Cluster-scale fleet sweep: routing policies, arrival shapes, and
 # backend mechanisms vs fleet-merged tail latency, rendered with the
-# per-instance saturation view.
+# per-instance saturation view. Fleet cells shard their engine
+# advances across the cores -parallel leaves free (see -shards).
 fleet:
 	$(GO) run ./cmd/killerusec -fleet -json fleet_run.json
 	$(GO) run ./cmd/kurec fleet fleet_run.json -instances
+
+# Determinism gate for the sharded fleet executor: the quick fleet
+# sweep must be byte-identical at -shards 1 and -shards 4.
+fleet-shards:
+	$(GO) run ./cmd/killerusec -fleet -quick -shards 1 -json fleet_s1.json > fleet_s1.txt
+	$(GO) run ./cmd/killerusec -fleet -quick -shards 4 -json fleet_s4.json > fleet_s4.txt
+	cmp fleet_s1.json fleet_s4.json
+	cmp fleet_s1.txt fleet_s4.txt
+	@echo "fleet reports byte-identical at -shards 1 and -shards 4"
+
+# Sharded fleet benchmarks, gated against the committed baseline
+# (rate floors everywhere; on >=4-proc machines also a >=2x shards=4
+# speedup on the mechs and prerouted configurations).
+bench-cluster:
+	$(GO) test -bench BenchmarkFleet -benchtime=0.3s -count=3 -run '^$$' ./internal/cluster/ | tee bench_cluster.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_cluster.json -input bench_cluster.txt
+
+# Refresh BENCH_cluster.json's measured rates from this machine
+# (hand-pinned speedup gates survive the update).
+bench-cluster-baseline:
+	$(GO) test -bench BenchmarkFleet -benchtime=0.3s -count=3 -run '^$$' ./internal/cluster/ | tee bench_cluster.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_cluster.json -update -input bench_cluster.txt
 
 # Run the sweep service daemon on :8080 with crash recovery.
 serve:
@@ -68,4 +91,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -rf figures_csv cover.out .kucache bench_engine.txt kurecd.wal kurecd.wal.reports fleet_run.json
+	rm -rf figures_csv cover.out .kucache bench_engine.txt bench_cluster.txt kurecd.wal kurecd.wal.reports fleet_run.json fleet_s1.json fleet_s1.txt fleet_s4.json fleet_s4.txt

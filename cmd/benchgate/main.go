@@ -40,11 +40,31 @@ type Baseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// Entry is one benchmark's recorded performance.
+// Entry is one benchmark's recorded performance, plus optional gate
+// conditions that are hand-pinned in the baseline (and preserved by
+// -update, which only refreshes the measured fields).
 type Entry struct {
 	Metric string  `json:"metric"`        // rate unit, e.g. "events/sec"
 	Rate   float64 `json:"rate"`          // best observed rate at -update time
 	Allocs float64 `json:"allocs_per_op"` // informational, not gated
+
+	// MinProcs skips this entry entirely when the run's GOMAXPROCS
+	// (the -N benchmark-name suffix) is below it — for entries whose
+	// gates only make sense on multi-core machines, e.g. a sharded
+	// fleet's speedup requirement.
+	MinProcs int `json:"min_procs,omitempty"`
+
+	// Versus and MinSpeedup gate a measured speedup within THIS run:
+	// this benchmark's rate must be at least MinSpeedup times the rate
+	// the same run recorded for the Versus benchmark. Both sides come
+	// from the current input, so the check is machine-independent.
+	Versus     string  `json:"versus,omitempty"`
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+
+	// Procs is the GOMAXPROCS the rate was observed at (parsed from
+	// the -N suffix); carried in memory for MinProcs checks, not
+	// serialized.
+	Procs int `json:"-"`
 }
 
 func main() {
@@ -75,9 +95,27 @@ func main() {
 	}
 
 	if *update {
+		note := "best-of-run engine benchmark rates; regenerate with `make bench-baseline`"
+		// Refresh measured fields only: gate conditions (min_procs,
+		// versus, min_speedup) and the note are hand-pinned policy, so
+		// an existing baseline's survive the update.
+		if data, err := os.ReadFile(*basePath); err == nil {
+			var prev Baseline
+			if json.Unmarshal(data, &prev) == nil {
+				if prev.Note != "" {
+					note = prev.Note
+				}
+				for name, e := range got {
+					if p, ok := prev.Benchmarks[name]; ok {
+						e.MinProcs, e.Versus, e.MinSpeedup = p.MinProcs, p.Versus, p.MinSpeedup
+						got[name] = e
+					}
+				}
+			}
+		}
 		b := Baseline{
 			Schema:     1,
-			Note:       "best-of-run engine benchmark rates; regenerate with `make bench-baseline`",
+			Note:       note,
 			Benchmarks: got,
 		}
 		data, err := json.MarshalIndent(&b, "", "  ")
@@ -118,6 +156,10 @@ func main() {
 			failed = true
 			continue
 		}
+		if want.MinProcs > 0 && have.Procs < want.MinProcs {
+			fmt.Printf("skip %-28s needs %d procs, ran at %d\n", name, want.MinProcs, have.Procs)
+			continue
+		}
 		floor := want.Rate * (1 - *threshold)
 		ratio := have.Rate / want.Rate
 		status := "ok  "
@@ -127,6 +169,25 @@ func main() {
 		}
 		fmt.Printf("%s %-28s %14.0f %s vs baseline %14.0f (%.2fx, floor %.0f)\n",
 			status, name, have.Rate, have.Metric, want.Rate, ratio, floor)
+
+		// Speedup condition: compare against the Versus benchmark's
+		// rate from this same run, so machine speed cancels out.
+		if want.Versus != "" && want.MinSpeedup > 0 {
+			vs, ok := got[want.Versus]
+			if !ok {
+				fmt.Printf("FAIL %-28s speedup reference %s missing from this run\n", name, want.Versus)
+				failed = true
+				continue
+			}
+			speedup := have.Rate / vs.Rate
+			status := "ok  "
+			if speedup < want.MinSpeedup {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-28s %14.2fx vs %s (need >= %.2fx)\n",
+				status, name, speedup, want.Versus, want.MinSpeedup)
+		}
 	}
 	for name := range got {
 		if _, ok := base.Benchmarks[name]; !ok {
@@ -159,9 +220,10 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			continue
 		}
 		name := fields[0]
+		procs := 1
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], n
 			}
 		}
 		var (
@@ -185,7 +247,7 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			continue // benchmark without a rate metric; not gated
 		}
 		if prev, ok := out[name]; !ok || rate > prev.Rate {
-			out[name] = Entry{Metric: metric, Rate: rate, Allocs: allocs}
+			out[name] = Entry{Metric: metric, Rate: rate, Allocs: allocs, Procs: procs}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -12,6 +12,16 @@
 // same Config always produces the same FleetSummary, byte for byte,
 // which is what lets cluster cells ride the content-addressed result
 // cache and the parallel sweep executor unchanged.
+//
+// Config.Shards spreads one fleet run across OS cores without touching
+// that property: instance engines share no state between routing
+// decisions, so a shard pool advances them concurrently to each
+// barrier (the next arrival, or the next saturation window boundary)
+// and the driver performs routing and window accounting serially at
+// the barrier, in fixed instance order. Policies that declare
+// Lookahead pre-route entire arrival batches, collapsing the whole
+// arrival phase into a single barrier; see shard.go for the protocol
+// and DESIGN.md §15 for the equivalence argument.
 package cluster
 
 import (
@@ -42,6 +52,14 @@ type Config struct {
 	Requests   int     // arrivals to generate
 	RatePerSec float64 // fleet-wide offered load (ignored by shape saturate)
 	Rho        float64 // informational: offered load / measured capacity
+
+	// Shards is the number of OS worker goroutines advancing instance
+	// engines between barriers. 0 or 1 runs the serial lockstep driver;
+	// higher values use all the cores you give them. Shards is an
+	// execution knob, never a parameter: the summary is byte-identical
+	// at every value (property-tested, CI-gated), so it is excluded
+	// from cell cache keys.
+	Shards int
 
 	// BurstPeriod and BurstDuty shape the bursty arrival process: the
 	// Poisson stream is compressed into the first Duty fraction of
@@ -110,7 +128,21 @@ func (c Config) Validate() error {
 	if c.Shape != ShapeSaturate && c.RatePerSec <= 0 {
 		return fmt.Errorf("cluster: offered rate %g must be positive", c.RatePerSec)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: shards %d must be non-negative", c.Shards)
+	}
 	return nil
+}
+
+// satCounter is one instance's sliding-window saturation accounting.
+// It carries its own worker-pool size so the barrier code no longer
+// threads saturation parameters through every call site.
+type satCounter struct {
+	workers       int
+	windows       int
+	saturated     int
+	prevArrived   uint64
+	prevCompleted uint64
 }
 
 // instance is one fleet member: an Env, its open-loop server, and the
@@ -118,11 +150,23 @@ func (c Config) Validate() error {
 type instance struct {
 	env *core.Env
 	srv *core.Server
+	sat satCounter
+}
 
-	windows       int
-	saturated     int
-	prevArrived   uint64
-	prevCompleted uint64
+// closeWindow flags a window where arrivals outpaced completions while
+// the backlog exceeded the worker pool — sustained oversubscription,
+// not a transient burst one pool of workers absorbs. It reads only
+// this instance's state, so shard workers may close windows for
+// different instances concurrently.
+func (in *instance) closeWindow() {
+	arr, comp := in.srv.Arrived(), in.srv.Completed()
+	s := &in.sat
+	dArr, dComp := arr-s.prevArrived, comp-s.prevCompleted
+	s.windows++
+	if dArr > dComp && in.srv.Outstanding() > s.workers {
+		s.saturated++
+	}
+	s.prevArrived, s.prevCompleted = arr, comp
 }
 
 // Run executes one fleet simulation and summarizes it.
@@ -133,8 +177,9 @@ func Run(cfg Config) (*stats.FleetSummary, error) {
 	}
 
 	// Every instance serves the same memcached-style item store; the
-	// backing is content-only (no engine state), so sharing one across
-	// instances is safe and keeps N-instantiation cheap.
+	// backing is content-only (no engine state, reads allocate their
+	// own line buffers), so sharing one across instances is safe — for
+	// concurrent shard workers too — and keeps N-instantiation cheap.
 	backing := workload.NewMemcached(cfg.Items, cfg.ValueLines, 1, 1).Backing()
 	insts := make([]*instance, cfg.Instances)
 	for i := range insts {
@@ -149,7 +194,7 @@ func Run(cfg Config) (*stats.FleetSummary, error) {
 		if err != nil {
 			return nil, err
 		}
-		insts[i] = &instance{env: env, srv: srv}
+		insts[i] = &instance{env: env, srv: srv, sat: satCounter{workers: cfg.Workers}}
 	}
 
 	arrivals := generateArrivals(cfg)
@@ -158,22 +203,23 @@ func Run(cfg Config) (*stats.FleetSummary, error) {
 		return nil, err
 	}
 
-	// Lockstep drive: advance every engine to each arrival's timestamp
-	// (closing out saturation windows on the way), then route on the
-	// instances' now-current queue state.
+	d := &driver{cfg: cfg, insts: insts}
+	if shards := min(cfg.Shards, cfg.Instances); shards > 1 {
+		d.pool = newShardPool(insts, shards)
+		defer d.pool.close()
+	}
+
+	// Arrival phase. Policies that declare lookahead pre-route the
+	// whole batch when a shard pool is attached, so engines run many
+	// arrivals between barriers; state-dependent policies barrier per
+	// arrival so routing sees live queue state, but the N engine
+	// advances to each barrier still run concurrently.
 	perArrived := make([]uint64, cfg.Instances)
-	nextWindow := cfg.Window
-	for _, a := range arrivals {
-		for nextWindow <= a.at {
-			advanceAll(insts, nextWindow, cfg.Workers)
-			nextWindow += cfg.Window
-		}
-		for _, in := range insts {
-			in.env.Engine().RunUntil(a.at)
-		}
-		target := router.pick(insts, a.key)
-		perArrived[target]++
-		insts[target].srv.Submit(a.key)
+	var nextWindow sim.Time
+	if d.pool != nil && Lookahead(cfg.Policy) {
+		nextWindow = d.runPrerouted(router, arrivals, perArrived)
+	} else {
+		nextWindow = d.runLockstep(router, arrivals, perArrived)
 	}
 
 	// Drain: no more arrivals; close the servers and keep advancing in
@@ -187,7 +233,7 @@ func Run(cfg Config) (*stats.FleetSummary, error) {
 	idle := 0
 	for backlog(insts) && idle < 1000 {
 		before := totalCompleted(insts)
-		advanceAll(insts, nextWindow, cfg.Workers)
+		d.advanceAll(nextWindow)
 		nextWindow += cfg.Window
 		if totalCompleted(insts) == before {
 			idle++
@@ -214,6 +260,91 @@ func Run(cfg Config) (*stats.FleetSummary, error) {
 	return sum, nil
 }
 
+// driver runs the fleet's barrier schedule: serially when pool is nil,
+// across shard workers otherwise. Either way the observable schedule —
+// which engine reaches which timestamp before which routing decision
+// and window close — is identical; the pool only changes which OS
+// thread does the advancing.
+type driver struct {
+	cfg   Config
+	insts []*instance
+	pool  *shardPool
+}
+
+// runLockstep is the per-arrival barrier schedule: advance every
+// engine to each arrival's timestamp (closing out saturation windows
+// on the way), then route on the instances' now-current queue state.
+// It returns the window cursor for the drain phase.
+func (d *driver) runLockstep(rt *router, arrivals []arrival, perArrived []uint64) sim.Time {
+	nextWindow := d.cfg.Window
+	for _, a := range arrivals {
+		for nextWindow <= a.at {
+			d.advanceAll(nextWindow)
+			nextWindow += d.cfg.Window
+		}
+		d.advanceEngines(a.at)
+		target := rt.pick(d.insts, a.key)
+		perArrived[target]++
+		d.insts[target].srv.Submit(a.key)
+	}
+	return nextWindow
+}
+
+// runPrerouted is the batched arrival phase for lookahead policies:
+// the routing sequence is precomputed with no engine state, each
+// instance receives its own arrival batch, and the shard pool runs
+// every instance's full timeline — self-paced window closes included —
+// behind a single barrier. Per instance this executes exactly the
+// lockstep schedule (same submits at the same local clock, same window
+// closes at the same boundaries); advances to *other* instances'
+// arrival times are dropped, which only moves the clock of eventless
+// engines and is therefore unobservable. See DESIGN.md §15.
+func (d *driver) runPrerouted(rt *router, arrivals []arrival, perArrived []uint64) sim.Time {
+	batches := make([][]arrival, len(d.insts))
+	for _, a := range arrivals {
+		t := rt.preroute(len(d.insts), a.key)
+		perArrived[t]++
+		batches[t] = append(batches[t], a)
+	}
+	// The serial driver closes every window boundary <= the last
+	// arrival during the arrival phase, whichever instance the
+	// arrivals went to; the batch runner reproduces that cutoff.
+	last := arrivals[len(arrivals)-1].at
+	d.pool.runBatches(batches, d.cfg.Window, last)
+	return (last/d.cfg.Window + 1) * d.cfg.Window
+}
+
+// advanceAll runs every engine to the window boundary, then closes the
+// window's saturation accounting in fixed instance order.
+func (d *driver) advanceAll(boundary sim.Time) {
+	d.advanceEngines(boundary)
+	for _, in := range d.insts {
+		in.closeWindow()
+	}
+}
+
+// advanceEngines moves every engine to the deadline — through the
+// shard pool when at least two instances have events to execute before
+// it, serially otherwise. The lookahead probe keeps barrier overhead
+// off quiet gaps: an engine whose next event lies past the deadline
+// needs only a clock bump, which is far cheaper than a worker handoff.
+func (d *driver) advanceEngines(deadline sim.Time) {
+	if d.pool != nil {
+		busy := 0
+		for _, in := range d.insts {
+			if t, ok := in.env.Engine().NextEventAt(); ok && t <= deadline {
+				if busy++; busy == 2 {
+					d.pool.advance(deadline)
+					return
+				}
+			}
+		}
+	}
+	for _, in := range d.insts {
+		in.env.Engine().RunUntil(deadline)
+	}
+}
+
 // backlog reports whether any instance still has requests in flight.
 func backlog(insts []*instance) bool {
 	for _, in := range insts {
@@ -232,30 +363,6 @@ func totalCompleted(insts []*instance) uint64 {
 	return n
 }
 
-// advanceAll moves every instance's engine to the window boundary and
-// closes the window's saturation accounting.
-func advanceAll(insts []*instance, boundary sim.Time, workers int) {
-	for _, in := range insts {
-		in.env.Engine().RunUntil(boundary)
-	}
-	closeWindow(insts, workers)
-}
-
-// closeWindow flags, per instance, a window where arrivals outpaced
-// completions while the backlog exceeded the worker pool — sustained
-// oversubscription, not a transient burst one pool of workers absorbs.
-func closeWindow(insts []*instance, workers int) {
-	for _, in := range insts {
-		arr, comp := in.srv.Arrived(), in.srv.Completed()
-		dArr, dComp := arr-in.prevArrived, comp-in.prevCompleted
-		in.windows++
-		if dArr > dComp && in.srv.Outstanding() > workers {
-			in.saturated++
-		}
-		in.prevArrived, in.prevCompleted = arr, comp
-	}
-}
-
 func summarize(cfg Config, insts []*instance, perArrived []uint64, end sim.Time) *stats.FleetSummary {
 	merged := stats.NewHistogram()
 	sum := &stats.FleetSummary{
@@ -267,13 +374,14 @@ func summarize(cfg Config, insts []*instance, perArrived []uint64, end sim.Time)
 		Instances:     make([]stats.FleetInstance, len(insts)),
 	}
 	for i, in := range insts {
+		sum.Events += in.env.Engine().Executed()
 		h := in.srv.Latencies()
 		merged.Merge(h)
 		sum.Instances[i] = stats.FleetInstance{
 			Arrived:          perArrived[i],
 			Completed:        in.srv.Completed(),
-			Windows:          in.windows,
-			SaturatedWindows: in.saturated,
+			Windows:          in.sat.windows,
+			SaturatedWindows: in.sat.saturated,
 			PeakOutstanding:  in.srv.PeakOutstanding(),
 			P50Ns:            sim.Time(h.Quantile(0.50)).Nanoseconds(),
 			P99Ns:            sim.Time(h.Quantile(0.99)).Nanoseconds(),

@@ -19,6 +19,25 @@ func Policies() []string {
 	return []string{PolicyRoundRobin, PolicyLeastOutstanding, PolicyQueueWeighted, PolicyKeyAffinity}
 }
 
+// policyLookahead declares, per policy, whether the routing decision is
+// a pure function of (seed, arrival index, key) — i.e. reads no live
+// instance state. The sharded driver exploits the declaration: a
+// lookahead policy's whole decision sequence can be precomputed, so
+// engines run through entire arrival batches between barriers, while a
+// state-dependent policy must barrier at every arrival so its decision
+// sees queue state at exactly the arrival's timestamp.
+var policyLookahead = map[string]bool{
+	PolicyRoundRobin:       true,
+	PolicyKeyAffinity:      true,
+	PolicyLeastOutstanding: false,
+	PolicyQueueWeighted:    false,
+}
+
+// Lookahead reports whether the policy declares routing lookahead: its
+// decisions read no live queue state, so a sharded fleet run can
+// pre-route whole arrival batches for it.
+func Lookahead(policy string) bool { return policyLookahead[policy] }
+
 // router picks a target instance for each arrival. Every policy is
 // deterministic: ties break to the lowest instance index and the
 // weighted draw uses the run's seeded generator, so the routing
@@ -41,12 +60,27 @@ func newRouter(cfg Config) (*router, error) {
 	}, nil
 }
 
-func (rt *router) pick(insts []*instance, key uint64) int {
+// preroute returns the routing decision for the next arrival using no
+// live instance state. Only legal for policies that declare Lookahead;
+// the round-robin cursor advances here exactly as pick would advance
+// it, so a prerouted decision sequence is bit-identical to picking at
+// each arrival.
+func (rt *router) preroute(n int, key uint64) int {
 	switch rt.policy {
 	case PolicyRoundRobin:
 		i := rt.next
-		rt.next = (rt.next + 1) % len(insts)
+		rt.next = (rt.next + 1) % n
 		return i
+	case PolicyKeyAffinity:
+		return int(mix(key) % uint64(n))
+	}
+	panic("cluster: preroute on state-dependent policy " + rt.policy)
+}
+
+func (rt *router) pick(insts []*instance, key uint64) int {
+	switch rt.policy {
+	case PolicyRoundRobin, PolicyKeyAffinity:
+		return rt.preroute(len(insts), key)
 
 	case PolicyLeastOutstanding:
 		best, bestOut := 0, insts[0].srv.Outstanding()
@@ -76,9 +110,6 @@ func (rt *router) pick(insts []*instance, key uint64) int {
 			}
 		}
 		return len(insts) - 1 // float underflow: last instance
-
-	case PolicyKeyAffinity:
-		return int(mix(key) % uint64(len(insts)))
 	}
 	panic("cluster: unreachable policy " + rt.policy)
 }

@@ -162,6 +162,11 @@ func (c CellSpec) Key() string {
 	cfg := c.Config
 	cfg.Trace = nil
 	cfg.MetricsSink = nil
+	// Cluster.Shards is likewise an execution knob: the sharded fleet
+	// driver is byte-deterministic at any shard count, so a cached
+	// serial fleet result is the sharded result.
+	cl := c.Cluster
+	cl.Shards = 0
 	return resultstore.Key(
 		"cell-v2",
 		c.Mech,
@@ -169,7 +174,7 @@ func (c CellSpec) Key() string {
 		strconv.FormatBool(c.Replay),
 		fmt.Sprintf("%#v", cfg),
 		fmt.Sprintf("%#v", c.Workload),
-		fmt.Sprintf("%#v", c.Cluster),
+		fmt.Sprintf("%#v", cl),
 	)
 }
 

@@ -34,6 +34,13 @@ type ClusterSpec struct {
 	RatePerSec float64
 	Rho        float64
 	Seed       uint64
+
+	// Shards is the worker-goroutine count for one fleet cell's engine
+	// advances (cluster.Config.Shards). It is an execution knob with no
+	// effect on results — the sharded driver is byte-deterministic — so
+	// CellSpec.Key zeroes it: a cached serial result answers a sharded
+	// request and vice versa.
+	Shards int
 }
 
 // runCluster executes one fleet cell and packages the summary as a
@@ -56,6 +63,7 @@ func runCluster(c CellSpec) (core.Result, error) {
 		RatePerSec: cs.RatePerSec,
 		Rho:        cs.Rho,
 		Seed:       cs.Seed,
+		Shards:     cs.Shards,
 	})
 	if err != nil {
 		return core.Result{}, err
@@ -100,6 +108,7 @@ func (s Suite) fleetSpec(backend, policy, shape string, rho, rate float64) CellS
 			RatePerSec: rate,
 			Rho:        rho,
 			Seed:       clusterSeed,
+			Shards:     s.FleetShards,
 		},
 	}
 }

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/platform"
@@ -44,6 +45,14 @@ type Suite struct {
 	// byte-identical at any worker count. It is not stamped into
 	// reports for the same reason.
 	Exec *Exec
+	// FleetShards is the engine-advance worker count inside each fleet
+	// cell (cluster.Config.Shards): cell-level parallelism, orthogonal
+	// to Exec's cell-at-a-time parallelism. Like Exec it never changes
+	// results — the sharded fleet driver is byte-deterministic — and is
+	// not stamped into reports. 0 or 1 keeps the serial fleet driver.
+	// Callers running sweeps should split cores between the two layers
+	// with ShardBudget so the pools compose instead of oversubscribing.
+	FleetShards int
 }
 
 // Default returns the publication sweep.
@@ -88,7 +97,23 @@ func (s Suite) Validate() error {
 			return fmt.Errorf("experiments: thread count %d must be positive", n)
 		}
 	}
+	if s.FleetShards < 0 {
+		return fmt.Errorf("experiments: fleet shards %d must be non-negative", s.FleetShards)
+	}
 	return nil
+}
+
+// ShardBudget splits the machine between the two parallelism layers: a
+// sweep running `parallel` cells at once gets GOMAXPROCS/parallel
+// engine-advance shards inside each fleet cell, so cells × shards
+// never oversubscribes the cores. A single-cell run (parallel ≤ 1)
+// gets the whole machine.
+func ShardBudget(parallel int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if parallel < 1 {
+		parallel = 1
+	}
+	return max(1, procs/parallel)
 }
 
 // must unwraps a run result. Suite configurations are validated before
